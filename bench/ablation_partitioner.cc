@@ -1,0 +1,58 @@
+// Ablation: partitioner quality vs hub count and index cost. The multilevel
+// (METIS-substitute) partitioner should yield far fewer hub nodes — and
+// therefore far less precomputation space/time — than BFS chunking or random
+// assignment (Appendix D: good separators are what make the method viable).
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+const char* MethodName(PartitionMethod method) {
+  switch (method) {
+    case PartitionMethod::kMultilevel:
+      return "multilevel";
+    case PartitionMethod::kBfs:
+      return "bfs";
+    case PartitionMethod::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+void Rows(const std::string& dataset, double scale) {
+  for (PartitionMethod method : {PartitionMethod::kMultilevel,
+                                 PartitionMethod::kBfs, PartitionMethod::kRandom}) {
+    AddRow("ablation_partitioner/" + dataset + "/" + MethodName(method),
+           [=]() -> Counters {
+             Graph g = LoadDataset(dataset, scale);
+             HgpaOptions options;
+             options.hierarchy.partition.method = method;
+             // Random/BFS partitions produce huge hub sets; cap depth so the
+             // ablation stays tractable.
+             options.hierarchy.max_levels = 5;
+             auto pre = HgpaPrecomputation::RunHgpa(g, options);
+             HgpaQueryEngine engine(HgpaIndex::Distribute(pre, 6));
+             std::vector<NodeId> queries = SampleQueries(g, 10);
+             QuerySummary summary = MeasureQueries(engine, queries);
+             return {
+                 {"total_hubs",
+                  static_cast<double>(pre->hierarchy().TotalHubCount())},
+                 {"space_mb", static_cast<double>(pre->TotalBytes()) / (1 << 20)},
+                 {"offline_total_s", pre->total_seconds()},
+                 {"runtime_ms", summary.compute_ms},
+             };
+           });
+  }
+}
+
+void RegisterRows() {
+  Rows("web", 0.3);
+  Rows("youtube", 0.3);
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

@@ -1,0 +1,54 @@
+// Ablation: HGPA_ad storage-prune threshold. Sweeping the offline-score
+// cut-off trades index size and query time against accuracy (the paper's
+// HGPA_ad fixes 1e-4; this shows the whole curve).
+
+#include <map>
+
+#include "bench_util.h"
+#include "dppr/ppr/metrics.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+std::shared_ptr<const HgpaPrecomputation> CachedExact() {
+  static std::shared_ptr<const HgpaPrecomputation> pre;
+  static Graph graph;
+  if (!pre) {
+    graph = LoadDataset("web", 0.35);
+    HgpaOptions options;
+    options.ppr.tolerance = 1e-5;  // finer than the prune thresholds swept
+    pre = HgpaPrecomputation::RunHgpa(graph, options);
+  }
+  return pre;
+}
+
+void RegisterRows() {
+  for (double prune : {0.0, 1e-5, 1e-4, 1e-3}) {
+    AddRow("ablation_prune/web/threshold:" + std::to_string(prune),
+           [=]() -> Counters {
+             auto exact = CachedExact();
+             auto pre = prune > 0 ? exact->PrunedCopy(prune) : exact;
+             HgpaQueryEngine engine(HgpaIndex::Distribute(pre, 6));
+             HgpaQueryEngine exact_engine(HgpaIndex::Distribute(exact, 6));
+             std::vector<NodeId> queries = SampleQueries(pre->graph(), 10);
+             QuerySummary summary = MeasureQueries(engine, queries);
+             double avg_l1 = 0.0;
+             for (NodeId q : queries) {
+               avg_l1 += AverageL1(engine.QueryDense(q), exact_engine.QueryDense(q));
+             }
+             avg_l1 /= static_cast<double>(queries.size());
+             return {
+                 {"space_mb", static_cast<double>(pre->TotalBytes()) / (1 << 20)},
+                 {"runtime_ms", summary.compute_ms},
+                 {"comm_kb", summary.comm_kb},
+                 {"avg_l1_vs_exact", avg_l1},
+             };
+           });
+  }
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

@@ -1,0 +1,50 @@
+// Ablation: skeleton computation via the paper's Eq. 8 per-hub fixed point
+// vs the reverse-push optimization (library default). Expected: identical
+// answers to tolerance, with reverse push much cheaper offline because it
+// only touches nodes that actually reach the hub.
+
+#include "bench_util.h"
+#include "dppr/ppr/metrics.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+Counters Run(SkeletonMethod method) {
+  Graph g = LoadDataset("web", 0.35);
+  HgpaOptions options;
+  options.skeleton_method = method;
+  auto pre = HgpaPrecomputation::RunHgpa(g, options);
+  HgpaQueryEngine engine(HgpaIndex::Distribute(pre, 6));
+  std::vector<NodeId> queries = SampleQueries(g, 10);
+  QuerySummary summary = MeasureQueries(engine, queries);
+
+  // Cross-check: both methods must produce the same PPV (to tolerance).
+  HgpaOptions other = options;
+  other.skeleton_method = method == SkeletonMethod::kReversePush
+                              ? SkeletonMethod::kFixedPoint
+                              : SkeletonMethod::kReversePush;
+  auto pre_other = HgpaPrecomputation::RunHgpa(g, other);
+  HgpaQueryEngine engine_other(HgpaIndex::Distribute(pre_other, 6));
+  double linf = 0.0;
+  for (NodeId q : {queries[0], queries[1]}) {
+    linf = std::max(linf, LInfNorm(engine.QueryDense(q), engine_other.QueryDense(q)));
+  }
+
+  return {{"offline_total_s", pre->total_seconds()},
+          {"runtime_ms", summary.compute_ms},
+          {"space_mb", static_cast<double>(pre->TotalBytes()) / (1 << 20)},
+          {"linf_vs_other_method", linf}};
+}
+
+void RegisterRows() {
+  AddRow("ablation_skeleton/web/eq8_fixed_point",
+         [] { return Run(SkeletonMethod::kFixedPoint); });
+  AddRow("ablation_skeleton/web/reverse_push",
+         [] { return Run(SkeletonMethod::kReversePush); });
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

@@ -1,0 +1,54 @@
+#ifndef DPPR_BENCH_BENCH_UTIL_H_
+#define DPPR_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dppr/core/hgpa.h"
+#include "dppr/graph/datasets.h"
+#include "dppr/graph/graph.h"
+
+namespace dppr::bench {
+
+/// Benchmarks reproduce the *shape* of the paper's figures on synthetic
+/// stand-in datasets (DESIGN.md §2). DPPR_BENCH_SCALE (default 1.0)
+/// multiplies every dataset size below; raise it on a bigger machine.
+double BenchScale(double base);
+
+/// DatasetByName at BenchScale(base).
+Graph LoadDataset(const std::string& name, double scale_base);
+
+/// Deterministic query workload (the paper samples 1000 random query nodes;
+/// we default to fewer since every row re-runs them).
+std::vector<NodeId> SampleQueries(const Graph& graph, size_t count,
+                                  uint64_t seed = 42);
+
+/// Averaged per-query metrics over a workload.
+struct QuerySummary {
+  double compute_ms = 0.0;    // max-machine + coordinator (paper's runtime)
+  double simulated_ms = 0.0;  // including the modeled network transfer
+  double comm_kb = 0.0;       // coordinator ingress per query
+};
+QuerySummary MeasureQueries(const HgpaQueryEngine& engine,
+                            std::span<const NodeId> queries);
+
+/// One figure data point: `fn` runs exactly once; the returned (name, value)
+/// pairs become benchmark counters on the row.
+using Counters = std::vector<std::pair<std::string, double>>;
+void AddRow(const std::string& name, std::function<Counters()> fn);
+
+/// Runs all registered rows under google-benchmark.
+int BenchMain(int argc, char** argv);
+
+}  // namespace dppr::bench
+
+#define DPPR_BENCH_MAIN(register_fn)              \
+  int main(int argc, char** argv) {               \
+    register_fn();                                \
+    return ::dppr::bench::BenchMain(argc, argv);  \
+  }
+
+#endif  // DPPR_BENCH_BENCH_UTIL_H_

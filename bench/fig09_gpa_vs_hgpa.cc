@@ -1,0 +1,47 @@
+// Figure 9: GPA vs HGPA on Web with default parameters (6 machines).
+// Paper shape: HGPA wins or ties on every axis — slightly faster queries
+// (better load balance), smaller max space, less offline time, less traffic.
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+constexpr double kWebScale = 0.5;
+constexpr size_t kMachines = 6;
+
+Counters Measure(std::shared_ptr<const HgpaPrecomputation> pre) {
+  HgpaIndex index = HgpaIndex::Distribute(pre, kMachines);
+  HgpaQueryEngine engine(index);
+  std::vector<NodeId> queries = SampleQueries(pre->graph(), 30);
+  QuerySummary summary = MeasureQueries(engine, queries);
+  return {
+      {"runtime_ms", summary.compute_ms},
+      {"runtime_with_net_ms", summary.simulated_ms},
+      {"space_mb", static_cast<double>(index.MaxMachineBytes()) / (1 << 20)},
+      {"offline_s", index.offline_ledger().MaxSeconds()},
+      {"network_kb", summary.comm_kb},
+  };
+}
+
+void RegisterRows() {
+  // Paper-faithful Eq. 8 skeletons: GPA pays for per-hub fixed points over
+  // the whole graph, HGPA only over shrinking subgraphs (the Fig. 9 offline
+  // gap; the reverse-push default would hide it — see ablation_skeleton).
+  HgpaOptions options;
+  options.skeleton_method = SkeletonMethod::kFixedPoint;
+  AddRow("fig09/web/HGPA", [options] {
+    Graph g = LoadDataset("web", kWebScale);
+    return Measure(HgpaPrecomputation::RunHgpa(g, options));
+  });
+  AddRow("fig09/web/GPA", [options] {
+    Graph g = LoadDataset("web", kWebScale);
+    return Measure(HgpaPrecomputation::RunGpa(g, kMachines, options));
+  });
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

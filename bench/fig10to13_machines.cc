@@ -1,0 +1,57 @@
+// Figures 10-13: HGPA vs number of machines (2..10) on Web, Youtube, PLD.
+// Paper shapes: query runtime drops ~linearly as machines double (Fig 10);
+// max per-machine space drops (Fig 11); offline time drops (Fig 12); comm
+// cost grows mildly with machines and stays in the ~MB range (Fig 13).
+
+#include <map>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+// One precomputation per dataset, redistributed per machine count (the
+// vectors do not depend on placement).
+std::shared_ptr<const HgpaPrecomputation> CachedPre(const std::string& dataset,
+                                                    double scale) {
+  static std::map<std::string, std::shared_ptr<const HgpaPrecomputation>> cache;
+  static std::map<std::string, Graph> graphs;
+  auto it = cache.find(dataset);
+  if (it != cache.end()) return it->second;
+  graphs[dataset] = LoadDataset(dataset, scale);
+  auto pre = HgpaPrecomputation::RunHgpa(graphs[dataset], HgpaOptions{});
+  cache[dataset] = pre;
+  return pre;
+}
+
+void Rows(const std::string& dataset, double scale) {
+  for (size_t machines : {2u, 4u, 6u, 8u, 10u}) {
+    AddRow("fig10to13/" + dataset + "/machines:" + std::to_string(machines),
+           [=]() -> Counters {
+             auto pre = CachedPre(dataset, scale);
+             HgpaIndex index = HgpaIndex::Distribute(pre, machines);
+             HgpaQueryEngine engine(index);
+             std::vector<NodeId> queries = SampleQueries(pre->graph(), 25);
+             QuerySummary summary = MeasureQueries(engine, queries);
+             return {
+                 {"runtime_ms", summary.compute_ms},
+                 {"space_mb",
+                  static_cast<double>(index.MaxMachineBytes()) / (1 << 20)},
+                 {"offline_s", index.offline_ledger().MaxSeconds()},
+                 {"comm_kb", summary.comm_kb},
+             };
+           });
+  }
+}
+
+void RegisterRows() {
+  Rows("web", 0.5);
+  Rows("youtube", 0.5);
+  Rows("pld", 0.35);
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

@@ -1,0 +1,48 @@
+// Figures 14-16: effect of the number of partitioning levels on Email, Web,
+// Youtube. Paper shapes: query runtime rises slightly with more levels
+// (Fig 14: more per-level terms in Eq. 6); precomputation space and time
+// drop significantly with more levels (Figs 15-16).
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+void Rows(const std::string& dataset, double scale,
+          std::initializer_list<uint32_t> levels) {
+  for (uint32_t level_cap : levels) {
+    AddRow("fig14to16/" + dataset + "/levels:" + std::to_string(level_cap),
+           [=]() -> Counters {
+             Graph g = LoadDataset(dataset, scale);
+             HgpaOptions options;
+             options.hierarchy.max_levels = level_cap;
+             // Eq. 8 skeletons: the offline cost of shallow hierarchies
+             // (big subgraphs x many hubs) is the effect Figs. 15-16 show.
+             options.skeleton_method = SkeletonMethod::kFixedPoint;
+             auto pre = HgpaPrecomputation::RunHgpa(g, options);
+             HgpaIndex index = HgpaIndex::Distribute(pre, 6);
+             HgpaQueryEngine engine(index);
+             std::vector<NodeId> queries = SampleQueries(g, 20);
+             QuerySummary summary = MeasureQueries(engine, queries);
+             return {
+                 {"runtime_ms", summary.compute_ms},
+                 {"space_mb",
+                  static_cast<double>(index.MaxMachineBytes()) / (1 << 20)},
+                 {"offline_s", index.offline_ledger().MaxSeconds()},
+                 {"actual_levels", static_cast<double>(pre->hierarchy().num_levels())},
+             };
+           });
+  }
+}
+
+void RegisterRows() {
+  Rows("email", 1.0, {1, 2, 3, 4, 5});
+  Rows("web", 0.35, {4, 6, 8, 10, 12});
+  Rows("youtube", 0.35, {7, 9, 11, 13, 15});
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

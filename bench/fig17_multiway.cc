@@ -1,0 +1,37 @@
+// Figure 17: effect of m-way partitioning (2, 4, 8, 16, 64 subgraphs per
+// level) on Web. Paper shape: query runtime dips slightly with more parts,
+// but precomputation space and time grow clearly — which is why 2-way is the
+// default.
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+void RegisterRows() {
+  for (uint32_t fanout : {2u, 4u, 8u, 16u, 64u}) {
+    dppr::bench::AddRow(
+        "fig17/web/fanout:" + std::to_string(fanout), [=]() -> Counters {
+          Graph g = LoadDataset("web", 0.35);
+          HgpaOptions options;
+          options.hierarchy.fanout = fanout;
+          auto pre = HgpaPrecomputation::RunHgpa(g, options);
+          HgpaIndex index = HgpaIndex::Distribute(pre, 6);
+          HgpaQueryEngine engine(index);
+          std::vector<NodeId> queries = SampleQueries(g, 20);
+          QuerySummary summary = MeasureQueries(engine, queries);
+          return {
+              {"runtime_ms", summary.compute_ms},
+              {"space_mb", static_cast<double>(index.MaxMachineBytes()) / (1 << 20)},
+              {"offline_s", index.offline_ledger().MaxSeconds()},
+              {"total_hubs", static_cast<double>(pre->hierarchy().TotalHubCount())},
+          };
+        });
+  }
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

@@ -1,0 +1,62 @@
+// Figures 18-19: effect of the tolerance ε on Web (runtime/space/offline/
+// comm, Fig 18) and the L-norm gap between HGPA and power iteration at the
+// same ε (Fig 19, Email and Web). Paper shapes: every cost rises as ε
+// shrinks; avg-L1 and L∞ track the tolerance's order of magnitude.
+
+#include "bench_util.h"
+#include "dppr/ppr/metrics.h"
+#include "dppr/ppr/power_iteration.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+void Rows(const std::string& dataset, double scale) {
+  for (double tolerance : {1e-2, 1e-3, 1e-4, 1e-5, 1e-6}) {
+    AddRow("fig18to19/" + dataset + "/eps:" + std::to_string(tolerance),
+           [=]() -> Counters {
+             Graph g = LoadDataset(dataset, scale);
+             HgpaOptions options;
+             options.ppr.tolerance = tolerance;
+             auto pre = HgpaPrecomputation::RunHgpa(g, options);
+             HgpaIndex index = HgpaIndex::Distribute(pre, 6);
+             HgpaQueryEngine engine(index);
+             std::vector<NodeId> queries = SampleQueries(g, 8);
+             QuerySummary summary = MeasureQueries(engine, queries);
+
+             // Fig 19: compare against power iteration at the same ε.
+             PowerIterationOptions pi;
+             pi.ppr.tolerance = tolerance;
+             pi.dangling = PowerDangling::kAbsorb;
+             double avg_l1 = 0.0;
+             double linf = 0.0;
+             for (NodeId q : queries) {
+               std::vector<double> hgpa = engine.QueryDense(q);
+               std::vector<double> power = PowerIterationPpv(g, q, pi).ppv;
+               avg_l1 += AverageL1(hgpa, power);
+               linf = std::max(linf, LInfNorm(hgpa, power));
+             }
+             avg_l1 /= static_cast<double>(queries.size());
+
+             return {
+                 {"runtime_ms", summary.compute_ms},
+                 {"space_mb",
+                  static_cast<double>(index.MaxMachineBytes()) / (1 << 20)},
+                 {"offline_s", index.offline_ledger().MaxSeconds()},
+                 {"comm_kb", summary.comm_kb},
+                 {"avg_l1", avg_l1},
+                 {"linf", linf},
+             };
+           });
+  }
+}
+
+void RegisterRows() {
+  Rows("email", 1.0);
+  Rows("web", 0.25);
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

@@ -1,0 +1,34 @@
+// Figure 20 (+ Table 6): HGPA scalability across the Meetup series M1..M5 on
+// 10 machines. Paper shape: query runtime, per-machine space and offline
+// time all grow ~linearly with graph size.
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+void RegisterRows() {
+  for (int index = 1; index <= 5; ++index) {
+    AddRow("fig20/meetup_M" + std::to_string(index), [=]() -> Counters {
+      Graph g = LoadDataset("meetup" + std::to_string(index), 0.3);
+      auto pre = HgpaPrecomputation::RunHgpa(g, HgpaOptions{});
+      HgpaIndex idx = HgpaIndex::Distribute(pre, 10);
+      HgpaQueryEngine engine(idx);
+      std::vector<NodeId> queries = SampleQueries(g, 15);
+      QuerySummary summary = MeasureQueries(engine, queries);
+      return {
+          {"nodes", static_cast<double>(g.num_nodes())},
+          {"edges", static_cast<double>(g.num_edges())},
+          {"runtime_ms", summary.compute_ms},
+          {"space_mb", static_cast<double>(idx.MaxMachineBytes()) / (1 << 20)},
+          {"offline_s", idx.offline_ledger().MaxSeconds()},
+      };
+    });
+  }
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

@@ -1,0 +1,82 @@
+// Figures 21-22: HGPA vs power iteration on Pregel+-like and Blogel-like BSP
+// engines (Web, Youtube; 2..10 machines). Paper shapes: HGPA is faster by
+// orders of magnitude; its runtime falls with machines while the BSP
+// engines' runtime and traffic *grow* with machines; Blogel stays below
+// Pregel+ on both axes.
+
+#include <map>
+
+#include "bench_util.h"
+#include "dppr/baseline/bsp_engine.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+std::shared_ptr<const HgpaPrecomputation> CachedPre(const std::string& dataset,
+                                                    double scale) {
+  static std::map<std::string, std::shared_ptr<const HgpaPrecomputation>> cache;
+  static std::map<std::string, Graph> graphs;
+  auto it = cache.find(dataset);
+  if (it != cache.end()) return it->second;
+  graphs[dataset] = LoadDataset(dataset, scale);
+  auto pre = HgpaPrecomputation::RunHgpa(graphs[dataset], HgpaOptions{});
+  cache[dataset] = pre;
+  return pre;
+}
+
+Counters MeasureBsp(const Graph& g, std::span<const NodeId> queries,
+                    BspPlacement placement, size_t machines) {
+  BspOptions options;
+  options.num_machines = machines;
+  options.placement = placement;
+  std::vector<uint32_t> machine_of = BspComputePlacement(g, options);
+  options.placement_override = &machine_of;
+  double runtime_ms = 0.0;
+  double comm_kb = 0.0;
+  double supersteps = 0.0;
+  for (NodeId q : queries) {
+    BspPpvResult result = BspPowerIterationPpv(g, q, PprOptions{}, options);
+    runtime_ms += result.simulated_seconds * 1e3;
+    comm_kb += result.network_traffic.kilobytes();
+    supersteps += static_cast<double>(result.supersteps);
+  }
+  double n = static_cast<double>(queries.size());
+  return {{"runtime_ms", runtime_ms / n},
+          {"comm_kb", comm_kb / n},
+          {"supersteps", supersteps / n}};
+}
+
+void Rows(const std::string& dataset, double scale) {
+  for (size_t machines : {2u, 4u, 6u, 8u, 10u}) {
+    std::string suffix = dataset + "/machines:" + std::to_string(machines);
+    AddRow("fig21to22/HGPA/" + suffix, [=]() -> Counters {
+      auto pre = CachedPre(dataset, scale);
+      HgpaIndex index = HgpaIndex::Distribute(pre, machines);
+      HgpaQueryEngine engine(index);
+      std::vector<NodeId> queries = SampleQueries(pre->graph(), 10);
+      QuerySummary summary = MeasureQueries(engine, queries);
+      return {{"runtime_ms", summary.compute_ms}, {"comm_kb", summary.comm_kb}};
+    });
+    AddRow("fig21to22/PregelPlus/" + suffix, [=]() -> Counters {
+      auto pre = CachedPre(dataset, scale);  // reuse the cached graph
+      std::vector<NodeId> queries = SampleQueries(pre->graph(), 3);
+      return MeasureBsp(pre->graph(), queries, BspPlacement::kHash, machines);
+    });
+    AddRow("fig21to22/Blogel/" + suffix, [=]() -> Counters {
+      auto pre = CachedPre(dataset, scale);
+      std::vector<NodeId> queries = SampleQueries(pre->graph(), 3);
+      return MeasureBsp(pre->graph(), queries, BspPlacement::kPartition, machines);
+    });
+  }
+}
+
+void RegisterRows() {
+  Rows("web", 0.4);
+  Rows("youtube", 0.4);
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

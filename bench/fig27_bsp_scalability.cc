@@ -1,0 +1,61 @@
+// Figure 27 (Appendix A): scalability of the BSP engines over the Meetup
+// series M1..M5 (10 machines) against HGPA. Paper shape: Pregel+/Blogel
+// runtime and traffic grow linearly with graph size (their communication is
+// per-edge) and sit orders of magnitude above HGPA.
+
+#include "bench_util.h"
+#include "dppr/baseline/bsp_engine.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+constexpr size_t kMachines = 10;
+constexpr double kScale = 0.2;
+
+void RegisterRows() {
+  for (int index = 1; index <= 5; ++index) {
+    std::string dataset = "meetup" + std::to_string(index);
+    AddRow("fig27/HGPA/M" + std::to_string(index), [=]() -> Counters {
+      Graph g = LoadDataset(dataset, kScale);
+      auto pre = HgpaPrecomputation::RunHgpa(g, HgpaOptions{});
+      HgpaQueryEngine engine(HgpaIndex::Distribute(pre, kMachines));
+      std::vector<NodeId> queries = SampleQueries(g, 8);
+      QuerySummary summary = MeasureQueries(engine, queries);
+      return {{"runtime_ms", summary.compute_ms},
+              {"comm_kb", summary.comm_kb},
+              {"edges", static_cast<double>(g.num_edges())}};
+    });
+    for (auto [placement, label] :
+         {std::pair{BspPlacement::kHash, "PregelPlus"},
+          std::pair{BspPlacement::kPartition, "Blogel"}}) {
+      AddRow(std::string("fig27/") + label + "/M" + std::to_string(index),
+             [=]() -> Counters {
+               Graph g = LoadDataset(dataset, kScale);
+               BspOptions options;
+               options.num_machines = kMachines;
+               options.placement = placement;
+               std::vector<uint32_t> machine_of = BspComputePlacement(g, options);
+               options.placement_override = &machine_of;
+               std::vector<NodeId> queries = SampleQueries(g, 2);
+               double runtime_ms = 0.0;
+               double comm_kb = 0.0;
+               for (NodeId q : queries) {
+                 BspPpvResult result =
+                     BspPowerIterationPpv(g, q, PprOptions{}, options);
+                 runtime_ms += result.simulated_seconds * 1e3;
+                 comm_kb += result.network_traffic.kilobytes();
+               }
+               double n = static_cast<double>(queries.size());
+               return {{"runtime_ms", runtime_ms / n},
+                       {"comm_kb", comm_kb / n},
+                       {"edges", static_cast<double>(g.num_edges())}};
+             });
+    }
+  }
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

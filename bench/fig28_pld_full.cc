@@ -1,0 +1,50 @@
+// Figure 28 (Appendix B): HGPA on the large PLD_full stand-in with a coarse
+// tolerance (ε = 1e-2, as the paper uses on the 101M-node graph) across a
+// wide machine sweep (stand-in for 500..1500 EC2 processors). Paper shape:
+// runtime stays under control and *decreases* with processors even though
+// communication grows, because each machine talks to the coordinator once.
+
+#include <map>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+std::shared_ptr<const HgpaPrecomputation> CachedPre() {
+  static std::shared_ptr<const HgpaPrecomputation> pre;
+  static Graph graph;
+  if (!pre) {
+    graph = LoadDataset("pld_full", 1.0);
+    HgpaOptions options;
+    options.ppr.tolerance = 1e-2;  // Appendix B setting
+    pre = HgpaPrecomputation::RunHgpa(graph, options);
+  }
+  return pre;
+}
+
+void RegisterRows() {
+  for (size_t machines : {8u, 12u, 16u, 20u, 24u}) {
+    AddRow("fig28/pld_full/machines:" + std::to_string(machines),
+           [=]() -> Counters {
+             auto pre = CachedPre();
+             HgpaIndex index = HgpaIndex::Distribute(pre, machines);
+             HgpaQueryEngine engine(index);
+             std::vector<NodeId> queries = SampleQueries(pre->graph(), 10);
+             QuerySummary summary = MeasureQueries(engine, queries);
+             return {
+                 {"runtime_ms", summary.compute_ms},
+                 {"offline_s", index.offline_ledger().MaxSeconds()},
+                 {"space_mb",
+                  static_cast<double>(index.MaxMachineBytes()) / (1 << 20)},
+                 {"comm_kb", summary.comm_kb},
+             };
+           });
+  }
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

@@ -1,0 +1,49 @@
+// Tables 2-5: hub node count per hierarchy level on Email, Web, Youtube and
+// PLD. Paper shape: hub counts shrink fast below the root and stay far below
+// the node count (|H| << |V|), e.g. Email 1208 hubs at level 0 out of 265k
+// nodes.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dppr/partition/hierarchy.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+void TableRow(const std::string& dataset, double scale, uint32_t max_levels) {
+  AddRow("hub_levels/" + dataset, [=]() -> Counters {
+    Graph g = LoadDataset(dataset, scale);
+    HierarchyOptions options;
+    options.max_levels = max_levels;
+    Hierarchy h = Hierarchy::Build(g, options);
+    std::vector<size_t> per_level = h.HubCountPerLevel();
+    std::printf("  %s (%zu nodes, %zu edges) — hub nodes per level:\n    ",
+                dataset.c_str(), g.num_nodes(), g.num_edges());
+    for (size_t level = 0; level < per_level.size(); ++level) {
+      std::printf("L%zu:%zu ", level, per_level[level]);
+    }
+    std::printf("\n");
+    Counters counters;
+    counters.emplace_back("levels", static_cast<double>(h.num_levels()));
+    counters.emplace_back("total_hubs", static_cast<double>(h.TotalHubCount()));
+    counters.emplace_back("hub_pct", 100.0 * static_cast<double>(h.TotalHubCount()) /
+                                         static_cast<double>(g.num_nodes()));
+    counters.emplace_back("leaf_subgraphs", static_cast<double>(h.leaves().size()));
+    return counters;
+  });
+}
+
+void RegisterRows() {
+  // Paper level caps: Email 5, Web 12, Youtube 15, PLD 15 (§6.2.1).
+  TableRow("email", 1.0, 5);
+  TableRow("web", 1.0, 12);
+  TableRow("youtube", 1.0, 15);
+  TableRow("pld", 1.0, 15);
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

@@ -1,0 +1,88 @@
+// Local community detection via PPV sweep cuts ([3, 21] in the paper): rank
+// nodes by degree-normalized personalized score from a seed, then take the
+// prefix with the best conductance. On a planted-partition graph the sweep
+// should recover the seed's community almost exactly.
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+#include "dppr/core/hgpa.h"
+#include "dppr/graph/generators.h"
+
+namespace {
+
+using namespace dppr;
+
+// Conductance of a node set: cut edges / min(volume inside, volume outside).
+double Conductance(const Graph& g, const std::unordered_set<NodeId>& set) {
+  size_t cut = 0;
+  size_t volume = 0;
+  size_t total_volume = g.num_edges() * 2;
+  for (NodeId u : set) {
+    volume += g.out_degree(u) + g.in_degree(u);
+    for (NodeId v : g.OutNeighbors(u)) cut += !set.count(v);
+    for (NodeId v : g.InNeighbors(u)) cut += !set.count(v);
+  }
+  size_t denom = std::min(volume, total_volume - volume);
+  if (denom == 0) return 1.0;
+  return static_cast<double>(cut) / static_cast<double>(denom);
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kNodes = 3000;
+  constexpr size_t kCommunities = 15;
+  Graph g = CommunityDigraph(kNodes, kCommunities, 5.0, 0.93, /*seed=*/3);
+  auto community_of = [&](NodeId u) {
+    return (static_cast<uint64_t>(u) * kCommunities) / kNodes;
+  };
+
+  auto pre = HgpaPrecomputation::RunHgpa(g, HgpaOptions{});
+  HgpaQueryEngine engine(HgpaIndex::Distribute(pre, 4));
+
+  NodeId seed = 1234;
+  std::vector<double> ppv = engine.QueryDense(seed);
+
+  // Sweep: order nodes by ppv/degree, track the best-conductance prefix.
+  std::vector<NodeId> order;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (ppv[u] > 0) order.push_back(u);
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    double sa = ppv[a] / std::max(1u, g.out_degree(a));
+    double sb = ppv[b] / std::max(1u, g.out_degree(b));
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+
+  std::unordered_set<NodeId> sweep;
+  std::unordered_set<NodeId> best_set;
+  double best_conductance = 1.0;
+  for (size_t i = 0; i < std::min<size_t>(order.size(), 600); ++i) {
+    sweep.insert(order[i]);
+    if (sweep.size() < 8) continue;
+    double phi = Conductance(g, sweep);
+    if (phi < best_conductance) {
+      best_conductance = phi;
+      best_set = sweep;
+    }
+  }
+
+  size_t same_community = 0;
+  for (NodeId u : best_set) same_community += community_of(u) == community_of(seed);
+  size_t true_size = kNodes / kCommunities;
+
+  std::printf("seed node %u lives in community %llu (%zu members)\n", seed,
+              static_cast<unsigned long long>(community_of(seed)), true_size);
+  std::printf("sweep cut found %zu nodes with conductance %.4f\n",
+              best_set.size(), best_conductance);
+  std::printf("  precision: %5.1f%%   recall: %5.1f%%\n",
+              100.0 * static_cast<double>(same_community) /
+                  static_cast<double>(best_set.size()),
+              100.0 * static_cast<double>(same_community) /
+                  static_cast<double>(true_size));
+  return best_conductance < 0.5 ? 0 : 1;
+}

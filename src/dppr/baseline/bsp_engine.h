@@ -1,0 +1,73 @@
+#ifndef DPPR_BASELINE_BSP_ENGINE_H_
+#define DPPR_BASELINE_BSP_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dppr/dist/network.h"
+#include "dppr/graph/graph.h"
+#include "dppr/ppr/ppr_options.h"
+
+namespace dppr {
+
+/// Vertex placement across machines.
+enum class BspPlacement {
+  /// Hash vertices to machines — what Pregel+ [48] does by default. Almost
+  /// every edge crosses machines, so message volume is ~|E| per superstep.
+  kHash,
+  /// Balanced-partition placement with block-locality — the essence of
+  /// Blogel [47]'s block-centric model: only cut edges cross machines.
+  kPartition,
+};
+
+/// Sender-side message handling.
+enum class BspCombining {
+  /// One message per cross-machine edge (plain Pregel).
+  kNone,
+  /// Messages from one machine to the same target vertex are combined
+  /// (Pregel+'s sender-side combiner; Blogel combines within blocks too).
+  kSenderSide,
+};
+
+struct BspOptions {
+  size_t num_machines = 6;
+  BspPlacement placement = BspPlacement::kHash;
+  BspCombining combining = BspCombining::kSenderSide;
+  NetworkModel network;
+  /// Wire size of one combined message: target vertex id + value.
+  size_t bytes_per_message = 12;
+  /// Barrier + scheduling overhead charged per superstep (BSP's fixed cost).
+  double superstep_overhead_seconds = 2e-3;
+  uint64_t partition_seed = 1;
+  /// Optional externally computed placement (vertex -> machine); overrides
+  /// `placement` when non-null. Benches reuse one partitioning across runs.
+  const std::vector<uint32_t>* placement_override = nullptr;
+};
+
+struct BspPpvResult {
+  std::vector<double> ppv;
+  size_t supersteps = 0;
+  /// Total cross-machine traffic (the paper's communication-cost metric for
+  /// Pregel+/Blogel, Figures 22/27).
+  CommStats network_traffic;
+  /// Σ over supersteps of (max per-machine compute + network + barrier).
+  double simulated_seconds = 0.0;
+  double compute_seconds_total = 0.0;
+};
+
+/// Power-iteration PPV on a BSP engine (paper §6.2.8): each superstep every
+/// active vertex scatters (1-α)·value/degree along its out-edges and the
+/// query vertex adds the teleport α; iterate to the shared tolerance. This
+/// is the baseline the paper implements on Pregel+ and Blogel — exact like
+/// HGPA, but paying one message wave per superstep.
+BspPpvResult BspPowerIterationPpv(const Graph& graph, NodeId query,
+                                  const PprOptions& ppr, const BspOptions& options);
+
+/// Computes the vertex->machine placement a BSP run would use (exposed so
+/// benches can pre-compute and share it via placement_override).
+std::vector<uint32_t> BspComputePlacement(const Graph& graph,
+                                          const BspOptions& options);
+
+}  // namespace dppr
+
+#endif  // DPPR_BASELINE_BSP_ENGINE_H_

@@ -1,0 +1,96 @@
+#include "dppr/baseline/fastppv.h"
+
+#include <algorithm>
+
+#include "dppr/common/thread_pool.h"
+#include "dppr/common/timer.h"
+#include "dppr/ppr/forward_push.h"
+#include "dppr/ppr/pagerank.h"
+
+namespace dppr {
+
+FastPpvIndex FastPpvIndex::Build(const Graph& graph,
+                                 const FastPpvOptions& options) {
+  WallTimer timer;
+  FastPpvIndex index;
+  index.graph_ = &graph;
+  index.options_ = options;
+  index.whole_ = LocalGraph::Whole(graph);
+  index.hubs_ = TopPageRankNodes(graph, options.num_hubs, options.ppr);
+  std::sort(index.hubs_.begin(), index.hubs_.end());
+  for (uint32_t rank = 0; rank < index.hubs_.size(); ++rank) {
+    index.hub_rank_.emplace(index.hubs_[rank], rank);
+  }
+
+  index.prime_.resize(index.hubs_.size());
+  index.transfer_.resize(index.hubs_.size());
+  ThreadPool::Default().ParallelFor(index.hubs_.size(), [&](size_t rank) {
+    ForwardPusher<LocalGraph> pusher(index.whole_);
+    ForwardPushResult push =
+        pusher.Run(index.hubs_[rank], index.hubs_, options.ppr);
+    // The prime vector keeps the hub-free absorbed mass; arrival mass at
+    // other hubs (and returns to this one) feeds the next scheduled round.
+    index.prime_[rank] = push.reserve;
+    index.transfer_[rank] = push.residual_at_blocked;
+  });
+
+  for (const auto& v : index.prime_) index.total_bytes_ += v.SerializedBytes();
+  for (const auto& v : index.transfer_) index.total_bytes_ += v.SerializedBytes();
+  index.build_seconds_ = timer.ElapsedSeconds();
+  return index;
+}
+
+std::vector<double> FastPpvIndex::Query(NodeId query, QueryStats* stats) const {
+  DPPR_CHECK_LT(query, graph_->num_nodes());
+  const double alpha = options_.ppr.alpha;
+
+  // Round 0: hub-free tours from the query (plus arrival mass at hubs).
+  ForwardPusher<LocalGraph> pusher(whole_);
+  ForwardPushResult base = pusher.Run(query, hubs_, options_.ppr);
+
+  DenseAccumulator acc(graph_->num_nodes());
+  acc.AddVector(base.reserve, 1.0);
+
+  // mass[rank]: walk mass parked at each hub awaiting its tour set.
+  std::vector<double> mass(hubs_.size(), 0.0);
+  double total_mass = 0.0;
+  for (const auto& e : base.residual_at_blocked.entries()) {
+    uint32_t rank = hub_rank_.at(e.index);
+    mass[rank] += e.value;
+    total_mass += e.value;
+  }
+
+  size_t rounds = 0;
+  std::vector<double> next_mass(hubs_.size(), 0.0);
+  while (rounds < options_.max_rounds && total_mass > options_.min_round_mass) {
+    ++rounds;
+    std::fill(next_mass.begin(), next_mass.end(), 0.0);
+    double next_total = 0.0;
+    for (uint32_t rank = 0; rank < hubs_.size(); ++rank) {
+      double m = mass[rank];
+      if (m == 0.0) continue;
+      // Tour-set recursion r_u = p'_u + Σ_h C'_u(h)·(r_h − α·x_h): the walk
+      // decay is already inside the transfer masses, so the hub's prime
+      // vector is scaled by the raw arrival mass. Subtracting α·m at the hub
+      // removes the prime vector's leading teleport entry, which the parent
+      // round's reserve already counted as "tours ending at this hub".
+      acc.AddVector(prime_[rank], m);
+      acc.Add(hubs_[rank], -m * alpha);
+      for (const auto& e : transfer_[rank].entries()) {
+        uint32_t next_rank = hub_rank_.at(e.index);
+        next_mass[next_rank] += m * e.value;
+        next_total += m * e.value;
+      }
+    }
+    mass.swap(next_mass);
+    total_mass = next_total;
+  }
+
+  if (stats != nullptr) {
+    stats->rounds = rounds;
+    stats->remaining_mass = total_mass;
+  }
+  return acc.ToDense();
+}
+
+}  // namespace dppr

@@ -1,0 +1,63 @@
+#ifndef DPPR_BASELINE_FASTPPV_H_
+#define DPPR_BASELINE_FASTPPV_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "dppr/graph/graph.h"
+#include "dppr/graph/local_graph.h"
+#include "dppr/ppr/ppr_options.h"
+#include "dppr/ppr/sparse_vector.h"
+
+namespace dppr {
+
+/// FastPPV substitute (Zhu et al. [49], "scheduled approximation"): tours
+/// are partitioned by how many hub nodes they cross, and the query
+/// aggregates tour sets from the most important (0 hub crossings) to less
+/// important ones round by round. Hubs are the top-|H| PageRank nodes; per
+/// hub we precompute a *prime vector* (hub-free walk mass absorbed from the
+/// hub) and a *transfer vector* (walk mass handed to the next hub). A query
+/// runs one hub-free push and then `max_rounds` rounds of hub expansion; the
+/// un-expanded hub mass bounds the approximation error.
+struct FastPpvOptions {
+  PprOptions ppr;
+  /// Number of PageRank hubs (the paper's Fast-100 / Fast-1000 knob).
+  size_t num_hubs = 1000;
+  /// Scheduled rounds of hub-mass expansion at query time.
+  size_t max_rounds = 8;
+  /// Early exit once the remaining (pessimistic) hub mass drops below this.
+  double min_round_mass = 1e-7;
+};
+
+class FastPpvIndex {
+ public:
+  static FastPpvIndex Build(const Graph& graph, const FastPpvOptions& options);
+
+  struct QueryStats {
+    size_t rounds = 0;
+    /// Un-expanded hub mass when the query stopped (error upper bound).
+    double remaining_mass = 0.0;
+  };
+
+  /// Approximate PPV of `query`.
+  std::vector<double> Query(NodeId query, QueryStats* stats = nullptr) const;
+
+  const std::vector<NodeId>& hubs() const { return hubs_; }
+  size_t TotalBytes() const { return total_bytes_; }
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  const Graph* graph_ = nullptr;
+  FastPpvOptions options_;
+  LocalGraph whole_;
+  std::vector<NodeId> hubs_;                       // sorted
+  std::unordered_map<NodeId, uint32_t> hub_rank_;  // hub id -> dense rank
+  std::vector<SparseVector> prime_;                // per rank: absorbed mass
+  std::vector<SparseVector> transfer_;             // per rank: mass to hubs
+  size_t total_bytes_ = 0;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_BASELINE_FASTPPV_H_

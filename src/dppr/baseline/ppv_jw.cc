@@ -1,0 +1,86 @@
+#include "dppr/baseline/ppv_jw.h"
+
+#include <algorithm>
+
+#include "dppr/common/thread_pool.h"
+#include "dppr/common/timer.h"
+#include "dppr/graph/local_graph.h"
+#include "dppr/ppr/forward_push.h"
+#include "dppr/ppr/pagerank.h"
+#include "dppr/ppr/skeleton.h"
+
+namespace dppr {
+namespace {
+
+SparseVector DropSorted(const SparseVector& vec, std::span<const NodeId> sorted) {
+  std::vector<SparseVector::Entry> entries;
+  entries.reserve(vec.size());
+  for (const auto& e : vec.entries()) {
+    if (!std::binary_search(sorted.begin(), sorted.end(), e.index)) {
+      entries.push_back(e);
+    }
+  }
+  return SparseVector::FromEntries(std::move(entries));
+}
+
+}  // namespace
+
+PpvJwIndex PpvJwIndex::Build(const Graph& graph, const PpvJwOptions& options) {
+  WallTimer timer;
+  PpvJwIndex index;
+  index.graph_ = &graph;
+  index.options_ = options;
+  index.hubs_ = TopPageRankNodes(graph, options.num_hubs, options.ppr);
+  std::sort(index.hubs_.begin(), index.hubs_.end());
+
+  LocalGraph whole = LocalGraph::Whole(graph, /*build_in_edges=*/true);
+
+  // Partial vectors for every node, blocked (interior) at H.
+  index.partials_.resize(graph.num_nodes());
+  ThreadPool::Default().ParallelFor(graph.num_nodes(), [&](size_t u) {
+    ForwardPusher<LocalGraph> pusher(whole);
+    ForwardPushResult push =
+        pusher.Run(static_cast<NodeId>(u), index.hubs_, options.ppr);
+    index.partials_[u] = DropSorted(push.reserve, index.hubs_);
+  });
+
+  // Skeleton columns for every hub.
+  std::vector<SparseVector> columns(index.hubs_.size());
+  ThreadPool::Default().ParallelFor(index.hubs_.size(), [&](size_t i) {
+    std::vector<double> column =
+        SkeletonReversePush(whole, index.hubs_[i], options.ppr);
+    columns[i] = SparseVector::FromDense(column);
+  });
+  for (size_t i = 0; i < index.hubs_.size(); ++i) {
+    index.skeleton_columns_.emplace(index.hubs_[i], std::move(columns[i]));
+  }
+
+  for (const auto& p : index.partials_) index.total_bytes_ += p.SerializedBytes();
+  for (const auto& [h, c] : index.skeleton_columns_) {
+    index.total_bytes_ += c.SerializedBytes();
+  }
+  index.build_seconds_ = timer.ElapsedSeconds();
+  return index;
+}
+
+std::vector<double> PpvJwIndex::Query(NodeId query) const {
+  DPPR_CHECK_LT(query, graph_->num_nodes());
+  const double alpha = options_.ppr.alpha;
+  DenseAccumulator acc(graph_->num_nodes());
+
+  // Eq. 4 with hub-coordinate replacement (DESIGN.md §3): non-hub
+  // coordinates from the scaled partials, hub coordinates directly from the
+  // skeleton values.
+  for (NodeId hub : hubs_) {
+    const SparseVector& column = skeleton_columns_.at(hub);
+    double s = column.ValueAt(query);
+    if (s == 0.0) continue;
+    acc.Add(hub, s);
+    if (query == hub) s -= alpha;
+    if (s != 0.0) acc.AddVector(partials_[hub], s / alpha);
+  }
+  acc.AddVector(partials_[query], 1.0);
+  return acc.ToDense();
+}
+
+}  // namespace dppr

@@ -1,0 +1,51 @@
+#ifndef DPPR_BASELINE_PPV_JW_H_
+#define DPPR_BASELINE_PPV_JW_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "dppr/graph/graph.h"
+#include "dppr/ppr/ppr_options.h"
+#include "dppr/ppr/sparse_vector.h"
+
+namespace dppr {
+
+/// PPV-JW — the brute-force extension of Jeh–Widom [25] described in paper
+/// §2.3: hub nodes are the top-|H| PageRank nodes (NOT graph separators), so
+/// partial vectors of non-hub nodes can reach the whole graph and total
+/// space degenerates towards O(|V|²). The query construction (Eq. 4) is
+/// still exact for any hub set; this baseline exists to demonstrate the
+/// space blow-up GPA/HGPA avoid.
+struct PpvJwOptions {
+  PprOptions ppr;
+  /// |H|: number of high-PageRank hubs.
+  size_t num_hubs = 64;
+};
+
+class PpvJwIndex {
+ public:
+  static PpvJwIndex Build(const Graph& graph, const PpvJwOptions& options);
+
+  /// Exact PPV (to tolerance) via Eq. 4 with hub-coordinate replacement.
+  std::vector<double> Query(NodeId query) const;
+
+  const std::vector<NodeId>& hubs() const { return hubs_; }
+  size_t TotalBytes() const { return total_bytes_; }
+  double build_seconds() const { return build_seconds_; }
+  const PpvJwOptions& options() const { return options_; }
+
+ private:
+  const Graph* graph_ = nullptr;
+  PpvJwOptions options_;
+  std::vector<NodeId> hubs_;  // sorted
+  /// Partial vector per node (hub coordinates dropped; see DESIGN.md).
+  std::vector<SparseVector> partials_;
+  /// Skeleton column per hub: entry u holds s_u(h).
+  std::unordered_map<NodeId, SparseVector> skeleton_columns_;
+  size_t total_bytes_ = 0;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_BASELINE_PPV_JW_H_

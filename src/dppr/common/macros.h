@@ -1,0 +1,44 @@
+#ifndef DPPR_COMMON_MACROS_H_
+#define DPPR_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Invariant-checking macros. DPPR_CHECK is always on (cheap, used on cold
+/// paths and at API boundaries); DPPR_DCHECK compiles out in release builds
+/// and is used on hot paths.
+
+namespace dppr::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "DPPR_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace dppr::internal
+
+#define DPPR_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::dppr::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                           \
+  } while (false)
+
+#define DPPR_CHECK_OP(a, op, b) DPPR_CHECK((a)op(b))
+#define DPPR_CHECK_EQ(a, b) DPPR_CHECK_OP(a, ==, b)
+#define DPPR_CHECK_NE(a, b) DPPR_CHECK_OP(a, !=, b)
+#define DPPR_CHECK_LT(a, b) DPPR_CHECK_OP(a, <, b)
+#define DPPR_CHECK_LE(a, b) DPPR_CHECK_OP(a, <=, b)
+#define DPPR_CHECK_GT(a, b) DPPR_CHECK_OP(a, >, b)
+#define DPPR_CHECK_GE(a, b) DPPR_CHECK_OP(a, >=, b)
+
+#ifdef NDEBUG
+#define DPPR_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define DPPR_DCHECK(expr) DPPR_CHECK(expr)
+#endif
+
+#endif  // DPPR_COMMON_MACROS_H_

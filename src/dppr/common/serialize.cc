@@ -1,0 +1,4 @@
+#include "dppr/common/serialize.h"
+
+// Header-only today; this TU anchors the target and keeps the door open for
+// out-of-line additions without touching every dependent CMake file.

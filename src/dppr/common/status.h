@@ -1,0 +1,102 @@
+#ifndef DPPR_COMMON_STATUS_H_
+#define DPPR_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "dppr/common/macros.h"
+
+namespace dppr {
+
+/// Error categories for fallible operations (I/O, parsing, configuration).
+/// The library does not use exceptions; fallible public APIs return Status or
+/// StatusOr<T>, and programming errors abort via DPPR_CHECK.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Lightweight status object carrying a code and a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value or an error Status. Minimal StatusOr used by loaders
+/// and parsers.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {                  // NOLINT
+    DPPR_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DPPR_CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    DPPR_CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    DPPR_CHECK(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define DPPR_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::dppr::Status _dppr_status = (expr);   \
+    if (!_dppr_status.ok()) return _dppr_status; \
+  } while (false)
+
+}  // namespace dppr
+
+#endif  // DPPR_COMMON_STATUS_H_

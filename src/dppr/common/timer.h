@@ -1,0 +1,47 @@
+#ifndef DPPR_COMMON_TIMER_H_
+#define DPPR_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dppr {
+
+/// Monotonic wall-clock timer with millisecond/second helpers.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Restart(), in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple start/stop intervals; used to
+/// attribute busy time to simulated machines that share physical cores.
+class StopWatch {
+ public:
+  void Start() { timer_.Restart(); }
+  void Stop() { total_seconds_ += timer_.ElapsedSeconds(); }
+  void Add(double seconds) { total_seconds_ += seconds; }
+  void Reset() { total_seconds_ = 0.0; }
+  double TotalSeconds() const { return total_seconds_; }
+  double TotalMillis() const { return total_seconds_ * 1e3; }
+
+ private:
+  WallTimer timer_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_COMMON_TIMER_H_

@@ -1,0 +1,199 @@
+#include "dppr/core/hgpa.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dppr/common/serialize.h"
+#include "dppr/common/timer.h"
+#include "dppr/ppr/sparse_vector.h"
+
+namespace dppr {
+
+HgpaIndex HgpaIndex::Distribute(
+    std::shared_ptr<const HgpaPrecomputation> precomputation,
+    size_t num_machines) {
+  DPPR_CHECK(precomputation != nullptr);
+  DPPR_CHECK_GE(num_machines, 1u);
+
+  HgpaIndex index;
+  index.precomputation_ = std::move(precomputation);
+  const HgpaPrecomputation& pre = *index.precomputation_;
+  const Hierarchy& hierarchy = pre.hierarchy();
+
+  index.stores_.resize(num_machines);
+  index.machine_hubs_.resize(num_machines);
+  index.own_machine_.assign(hierarchy.num_nodes(), 0);
+  index.offline_ = MachineTimeLedger(num_machines);
+
+  auto place = [&](VectorKind kind, SubgraphId sub, NodeId node, size_t machine) {
+    const HgpaPrecomputation::Item* item = pre.FindItem(kind, sub, node);
+    DPPR_CHECK(item != nullptr);
+    index.stores_[machine].Put(kind, sub, node, &item->vec, item->bytes);
+    index.offline_.Add(machine, item->seconds);
+  };
+
+  // Eq. 7: split each subgraph's hub set evenly over machines. The rotation
+  // by subgraph id spreads the remainder hubs across machines.
+  for (const auto& sub : hierarchy.subgraphs()) {
+    for (size_t rank = 0; rank < sub.hubs.size(); ++rank) {
+      size_t machine = (rank + sub.id) % num_machines;
+      NodeId hub = sub.hubs[rank];
+      place(VectorKind::kHubPartial, sub.id, hub, machine);
+      place(VectorKind::kSkeletonColumn, sub.id, hub, machine);
+      index.machine_hubs_[machine][sub.id].push_back(hub);
+      index.own_machine_[hub] = machine;  // hub's own vector = its partial
+    }
+  }
+
+  // Leaf subgraphs: greedy least-loaded by node count ("distribute the leaf
+  // level subgraphs evenly", §4.4). Larger leaves first.
+  std::vector<SubgraphId> leaves = hierarchy.leaves();
+  std::sort(leaves.begin(), leaves.end(), [&](SubgraphId a, SubgraphId b) {
+    size_t sa = hierarchy.subgraph(a).nodes.size();
+    size_t sb = hierarchy.subgraph(b).nodes.size();
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  std::vector<size_t> leaf_load(num_machines, 0);
+  for (SubgraphId leaf : leaves) {
+    size_t machine = static_cast<size_t>(
+        std::min_element(leaf_load.begin(), leaf_load.end()) - leaf_load.begin());
+    const auto& sub = hierarchy.subgraph(leaf);
+    leaf_load[machine] += sub.nodes.size();
+    for (NodeId u : sub.nodes) {
+      place(VectorKind::kOwnVector, leaf, u, machine);
+      index.own_machine_[u] = machine;
+    }
+  }
+  return index;
+}
+
+size_t HgpaIndex::MaxMachineBytes() const {
+  size_t max = 0;
+  for (const auto& store : stores_) max = std::max(max, store.TotalSerializedBytes());
+  return max;
+}
+
+size_t HgpaIndex::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& store : stores_) total += store.TotalSerializedBytes();
+  return total;
+}
+
+std::vector<size_t> HgpaIndex::BytesPerMachine() const {
+  std::vector<size_t> bytes;
+  bytes.reserve(stores_.size());
+  for (const auto& store : stores_) bytes.push_back(store.TotalSerializedBytes());
+  return bytes;
+}
+
+HgpaQueryEngine::HgpaQueryEngine(HgpaIndex index, NetworkModel network)
+    : index_(std::move(index)), cluster_(index_.num_machines(), network) {}
+
+std::vector<uint8_t> HgpaQueryEngine::MachineTask(
+    size_t machine, std::span<const Preference> preferences) const {
+  const Hierarchy& hierarchy = index_.hierarchy();
+  const PpvStore& store = index_.store(machine);
+  const double alpha = index_.options().ppr.alpha;
+
+  DenseAccumulator acc(hierarchy.num_nodes());
+  const auto& my_hubs = index_.hubs_on_machine(machine);
+
+  for (const Preference& pref : preferences) {
+    NodeId query = pref.node;
+    double query_weight = pref.weight;
+    if (query_weight == 0.0) continue;
+
+    // Eq. 7 inner sums: for every subgraph on the query chain, fold this
+    // machine's share of its hubs (Algorithm 1 lines 2-5). Stored hub partial
+    // vectors carry no hub coordinates; instead each hub coordinate h of level
+    // m receives the *replacement* value s_u[S_m](h) directly — by the
+    // decomposition, r_u(h) = Σ_{j<m} hubsum_j(h) + s_u[S_m](h), and the
+    // deeper levels never touch coordinate h again.
+    for (SubgraphId sub : hierarchy.Chain(query)) {
+      auto it = my_hubs.find(sub);
+      if (it == my_hubs.end()) continue;
+      for (NodeId hub : it->second) {
+        const SparseVector* skeleton =
+            store.Find(VectorKind::kSkeletonColumn, sub, hub);
+        DPPR_DCHECK(skeleton != nullptr);
+        double s = skeleton->ValueAt(query);
+        if (s == 0.0) continue;
+        // Hub-coordinate replacement: coordinate h gets its exact local PPV
+        // value at this level.
+        acc.Add(hub, query_weight * s);
+        // Adjusted skeleton weight S_u(h) = s_u(h) - α·f_u(h) scales the
+        // hub's partial vector over the non-hub coordinates.
+        if (query == hub) s -= alpha;
+        if (s == 0.0) continue;
+        const SparseVector* partial =
+            store.Find(VectorKind::kHubPartial, sub, hub);
+        DPPR_DCHECK(partial != nullptr);
+        acc.AddVector(*partial, query_weight * s / alpha);
+      }
+    }
+
+    // Own term (Algorithm 1 lines 6-8): leaf local PPV for non-hubs, the
+    // unadjusted partial vector for hubs.
+    if (index_.own_vector_machine(query) == machine) {
+      SubgraphId final_sub = hierarchy.final_subgraph(query);
+      VectorKind kind = hierarchy.is_hub(query) ? VectorKind::kHubPartial
+                                                : VectorKind::kOwnVector;
+      const SparseVector* own = store.Find(kind, final_sub, query);
+      DPPR_DCHECK(own != nullptr);
+      acc.AddVector(*own, query_weight);
+    }
+  }
+
+  ByteWriter writer;
+  acc.ToSparse().SerializeTo(writer);
+  return writer.Release();
+}
+
+SparseVector HgpaQueryEngine::RunDistributed(
+    std::span<const Preference> preferences, QueryMetrics* metrics) const {
+  SimCluster::RoundResult round = cluster_.RunRound(
+      [&](size_t machine) { return MachineTask(machine, preferences); });
+
+  WallTimer coordinator_timer;
+  DenseAccumulator acc(index_.graph().num_nodes());
+  for (const auto& payload : round.payloads) {
+    ByteReader reader(payload.data(), payload.size());
+    SparseVector fragment = SparseVector::Deserialize(reader);
+    acc.AddVector(fragment, 1.0);
+  }
+  SparseVector ppv = acc.ToSparse();
+  round.metrics.coordinator_seconds = coordinator_timer.ElapsedSeconds();
+
+  if (metrics != nullptr) {
+    metrics->max_machine_seconds = round.metrics.MaxMachineSeconds();
+    metrics->coordinator_seconds = round.metrics.coordinator_seconds;
+    metrics->simulated_seconds = round.metrics.SimulatedSeconds(cluster_.network());
+    metrics->comm = round.metrics.to_coordinator;
+  }
+  return ppv;
+}
+
+SparseVector HgpaQueryEngine::Query(NodeId query, QueryMetrics* metrics) const {
+  DPPR_CHECK_LT(query, index_.graph().num_nodes());
+  Preference single{query, 1.0};
+  return RunDistributed({&single, 1}, metrics);
+}
+
+SparseVector HgpaQueryEngine::QueryPreferenceSet(
+    std::span<const Preference> preferences, QueryMetrics* metrics) const {
+  for (const Preference& p : preferences) {
+    DPPR_CHECK_LT(p.node, index_.graph().num_nodes());
+  }
+  return RunDistributed(preferences, metrics);
+}
+
+std::vector<double> HgpaQueryEngine::QueryDense(NodeId query,
+                                                QueryMetrics* metrics) const {
+  SparseVector sparse = Query(query, metrics);
+  std::vector<double> dense(index_.graph().num_nodes(), 0.0);
+  sparse.AddScaledTo(dense, 1.0);
+  return dense;
+}
+
+}  // namespace dppr

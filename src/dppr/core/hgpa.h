@@ -1,0 +1,127 @@
+#ifndef DPPR_CORE_HGPA_H_
+#define DPPR_CORE_HGPA_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dppr/core/ppv_store.h"
+#include "dppr/core/precompute.h"
+#include "dppr/dist/cluster.h"
+
+namespace dppr {
+
+/// A precomputation distributed onto n simulated machines: the paper's
+/// hub-node partitioning (Eq. 7) splits every subgraph's hub set evenly
+/// across machines, and leaf subgraphs are packed onto machines by greedy
+/// least-loaded assignment. The same type serves GPA (flat hierarchy) and
+/// HGPA (deep hierarchy).
+class HgpaIndex {
+ public:
+  /// Places `precomputation` onto `num_machines` machines. Cheap relative to
+  /// precomputation (vectors are shared, not copied), so machine sweeps can
+  /// redistribute one precomputation many times.
+  static HgpaIndex Distribute(
+      std::shared_ptr<const HgpaPrecomputation> precomputation,
+      size_t num_machines);
+
+  const Graph& graph() const { return precomputation_->graph(); }
+  const Hierarchy& hierarchy() const { return precomputation_->hierarchy(); }
+  const HgpaOptions& options() const { return precomputation_->options(); }
+  size_t num_machines() const { return stores_.size(); }
+
+  const PpvStore& store(size_t machine) const { return stores_[machine]; }
+
+  /// Hubs a machine is responsible for, grouped by subgraph. Query-time
+  /// machine work iterates the query chain against this map.
+  const std::unordered_map<SubgraphId, std::vector<NodeId>>& hubs_on_machine(
+      size_t machine) const {
+    return machine_hubs_[machine];
+  }
+
+  /// Machine holding u's own vector (leaf local PPV for non-hubs, the hub
+  /// partial vector for hubs).
+  size_t own_vector_machine(NodeId u) const { return own_machine_[u]; }
+
+  /// Per-machine offline time: each vector's compute time charged to the
+  /// machine that stores it (§5: "each machine only needs to handle the
+  /// nodes assigned to it").
+  const MachineTimeLedger& offline_ledger() const { return offline_; }
+
+  /// Paper's space metric: max serialized bytes over machines.
+  size_t MaxMachineBytes() const;
+  size_t TotalBytes() const;
+  std::vector<size_t> BytesPerMachine() const;
+
+ private:
+  std::shared_ptr<const HgpaPrecomputation> precomputation_;
+  std::vector<PpvStore> stores_;
+  std::vector<std::unordered_map<SubgraphId, std::vector<NodeId>>> machine_hubs_;
+  std::vector<size_t> own_machine_;
+  MachineTimeLedger offline_{1};
+};
+
+/// Query statistics reported by the paper's experiments.
+struct QueryMetrics {
+  /// max over machines of the measured per-machine compute time.
+  double max_machine_seconds = 0.0;
+  double coordinator_seconds = 0.0;
+  /// End-to-end latency under the network model (the paper's "runtime").
+  double simulated_seconds = 0.0;
+  /// Bytes received by the coordinator (the paper's communication cost).
+  CommStats comm;
+
+  /// Compute-only runtime (machines overlap their sends in a real cluster,
+  /// and the paper observes network transfer does not dominate; Appendix B).
+  double ComputeSeconds() const {
+    return max_machine_seconds + coordinator_seconds;
+  }
+};
+
+/// Distributed PPV construction (Algorithm 1 + Eq. 6/7): each machine folds
+/// the contributions of its hubs along the query node's subgraph chain into
+/// one vector and ships it to the coordinator exactly once; the coordinator
+/// sums the n replies.
+class HgpaQueryEngine {
+ public:
+  /// Takes the index by value: an index is a cheap handle (vector stores
+  /// reference the shared precomputation), and owning it keeps the engine
+  /// safe to build from temporaries.
+  explicit HgpaQueryEngine(HgpaIndex index, NetworkModel network = {});
+
+  /// Exact PPV of `query` (to the index tolerance), with optional metrics.
+  SparseVector Query(NodeId query, QueryMetrics* metrics = nullptr) const;
+
+  /// Dense convenience wrapper (metrics identical to Query).
+  std::vector<double> QueryDense(NodeId query, QueryMetrics* metrics = nullptr) const;
+
+  /// One entry of a preference set P: a node and its teleport weight.
+  struct Preference {
+    NodeId node;
+    double weight;
+  };
+
+  /// Exact PPV of an arbitrary preference set (the paper's general problem
+  /// statement; §1 Eq. 1). By the Jeh–Widom linearity theorem the PPV of P is
+  /// the weight-combination of single-node PPVs; each machine folds all of
+  /// P's chains locally, so the query still costs one message per machine.
+  /// Weights should sum to 1 for a probability vector (not enforced).
+  SparseVector QueryPreferenceSet(std::span<const Preference> preferences,
+                                  QueryMetrics* metrics = nullptr) const;
+
+  const HgpaIndex& index() const { return index_; }
+
+ private:
+  std::vector<uint8_t> MachineTask(size_t machine,
+                                   std::span<const Preference> preferences) const;
+
+  SparseVector RunDistributed(std::span<const Preference> preferences,
+                              QueryMetrics* metrics) const;
+
+  HgpaIndex index_;
+  SimCluster cluster_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_HGPA_H_

@@ -1,0 +1,3 @@
+#include "dppr/core/ppv_store.h"
+
+// Header-only; TU anchors the target.

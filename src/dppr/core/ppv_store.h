@@ -1,0 +1,65 @@
+#ifndef DPPR_CORE_PPV_STORE_H_
+#define DPPR_CORE_PPV_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "dppr/common/macros.h"
+#include "dppr/graph/types.h"
+#include "dppr/partition/hierarchy.h"
+#include "dppr/ppr/sparse_vector.h"
+
+namespace dppr {
+
+/// The three precomputed vector kinds of the paper's decomposition.
+enum class VectorKind : uint8_t {
+  /// p^H_h[S]: partial vector of hub h w.r.t. subgraph S (Def. 1 / Thm. 2).
+  kHubPartial = 0,
+  /// Skeleton column of hub h over S: entry u holds s_u[S](h) (Def. 2).
+  kSkeletonColumn = 1,
+  /// Leaf-level local PPV r_u[leaf] of a non-hub node (Eq. 6 last term).
+  kOwnVector = 2,
+};
+
+/// Packs (kind, subgraph, node) into a lookup key.
+inline uint64_t MakeVectorKey(VectorKind kind, SubgraphId sub, NodeId node) {
+  DPPR_DCHECK(sub < (1u << 30));
+  DPPR_DCHECK(node < (1u << 30));
+  return (static_cast<uint64_t>(kind) << 60) | (static_cast<uint64_t>(sub) << 30) |
+         node;
+}
+
+/// One simulated machine's vector storage. Vectors are owned by the
+/// placement-independent HgpaPrecomputation; the store references them and
+/// tracks serialized storage bytes (the paper's per-machine space metric).
+class PpvStore {
+ public:
+  void Put(VectorKind kind, SubgraphId sub, NodeId node, const SparseVector* vec,
+           size_t serialized_bytes) {
+    bool inserted =
+        map_.emplace(MakeVectorKey(kind, sub, node), vec).second;
+    DPPR_CHECK(inserted);
+    total_bytes_ += serialized_bytes;
+    ++num_vectors_;
+  }
+
+  /// nullptr when this machine does not hold the vector.
+  const SparseVector* Find(VectorKind kind, SubgraphId sub, NodeId node) const {
+    auto it = map_.find(MakeVectorKey(kind, sub, node));
+    return it == map_.end() ? nullptr : it->second;
+  }
+
+  size_t num_vectors() const { return num_vectors_; }
+
+  /// Serialized size of everything stored here (disk/memory accounting).
+  size_t TotalSerializedBytes() const { return total_bytes_; }
+
+ private:
+  std::unordered_map<uint64_t, const SparseVector*> map_;
+  size_t total_bytes_ = 0;
+  size_t num_vectors_ = 0;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_PPV_STORE_H_

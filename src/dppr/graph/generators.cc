@@ -1,0 +1,155 @@
+#include "dppr/graph/generators.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "dppr/common/rng.h"
+
+namespace dppr {
+
+Graph ErdosRenyi(size_t num_nodes, size_t num_edges, uint64_t seed,
+                 const GraphBuildOptions& options) {
+  DPPR_CHECK_GT(num_nodes, 0u);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  for (size_t i = 0; i < num_edges; ++i) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.Uniform(num_nodes));
+    builder.AddEdge(u, v);
+  }
+  return builder.Build(options);
+}
+
+Graph PreferentialAttachment(size_t num_nodes, uint32_t out_degree, uint64_t seed,
+                             double reciprocal_prob, const GraphBuildOptions& options) {
+  DPPR_CHECK_GT(num_nodes, 0u);
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  // `endpoints` holds one entry per received edge plus one per node, so
+  // sampling uniformly from it is proportional to (in_degree + 1).
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(num_nodes * (out_degree + 1));
+  endpoints.push_back(0);
+  for (NodeId u = 1; u < num_nodes; ++u) {
+    for (uint32_t k = 0; k < out_degree; ++k) {
+      NodeId target = endpoints[rng.Uniform(endpoints.size())];
+      if (target == u) continue;  // occasional short degree keeps tail natural
+      builder.AddEdge(u, target);
+      endpoints.push_back(target);
+      if (rng.NextBool(reciprocal_prob)) builder.AddEdge(target, u);
+    }
+    endpoints.push_back(u);
+  }
+  return builder.Build(options);
+}
+
+Graph Rmat(uint32_t scale, size_t num_edges, uint64_t seed,
+           const RmatParams& params, const GraphBuildOptions& options) {
+  DPPR_CHECK_LE(scale, 30u);
+  size_t num_nodes = size_t{1} << scale;
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  for (size_t i = 0; i < num_edges; ++i) {
+    NodeId u = 0;
+    NodeId v = 0;
+    for (uint32_t level = 0; level < scale; ++level) {
+      double r = rng.NextDouble();
+      // Mild per-level noise avoids the exact self-similar artifacts of pure
+      // R-MAT while preserving skew.
+      double a = params.a * (0.95 + 0.1 * rng.NextDouble());
+      double b = params.b;
+      double c = params.c;
+      u <<= 1;
+      v <<= 1;
+      if (r < a) {
+        // top-left: no bits set
+      } else if (r < a + b) {
+        v |= 1;
+      } else if (r < a + b + c) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    builder.AddEdge(u, v);
+  }
+  return builder.Build(options);
+}
+
+Graph CommunityDigraph(size_t num_nodes, size_t num_communities,
+                       double avg_out_degree, double intra_prob, uint64_t seed,
+                       const GraphBuildOptions& options) {
+  DPPR_CHECK_GT(num_nodes, 0u);
+  DPPR_CHECK_GT(num_communities, 0u);
+  DPPR_CHECK_LE(num_communities, num_nodes);
+  Rng rng(seed);
+
+  // Contiguous community blocks of near-equal size.
+  std::vector<NodeId> community_of(num_nodes);
+  std::vector<std::vector<NodeId>> members(num_communities);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    NodeId c = static_cast<NodeId>((static_cast<uint64_t>(u) * num_communities) /
+                                   num_nodes);
+    community_of[u] = c;
+    members[c].push_back(u);
+  }
+
+  GraphBuilder builder(num_nodes);
+  // Per-community preferential endpoint pools.
+  std::vector<std::vector<NodeId>> pools(num_communities);
+  for (size_t c = 0; c < num_communities; ++c) pools[c] = members[c];
+
+  size_t total_edges = static_cast<size_t>(avg_out_degree * num_nodes);
+  for (size_t i = 0; i < total_edges; ++i) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(num_nodes));
+    NodeId v;
+    if (rng.NextBool(intra_prob)) {
+      auto& pool = pools[community_of[u]];
+      v = pool[rng.Uniform(pool.size())];
+      pool.push_back(v);  // rich get richer within the community
+    } else {
+      v = static_cast<NodeId>(rng.Uniform(num_nodes));
+    }
+    if (u == v) continue;
+    builder.AddEdge(u, v);
+  }
+  return builder.Build(options);
+}
+
+Graph CoAttendanceGraph(size_t num_users, size_t num_events,
+                        uint32_t attendees_per_event, uint32_t max_pairs_per_event,
+                        uint64_t seed, const GraphBuildOptions& options) {
+  DPPR_CHECK_GT(num_users, 1u);
+  Rng rng(seed);
+  GraphBuilder builder(num_users);
+  // Activity-weighted attendance pool (users who attended more events attend
+  // more future events).
+  std::vector<NodeId> pool;
+  pool.reserve(num_users + num_events * attendees_per_event);
+  for (NodeId u = 0; u < num_users; ++u) pool.push_back(u);
+
+  std::vector<NodeId> attendees;
+  for (size_t e = 0; e < num_events; ++e) {
+    attendees.clear();
+    for (uint32_t i = 0; i < attendees_per_event; ++i) {
+      NodeId u = pool[rng.Uniform(pool.size())];
+      attendees.push_back(u);
+    }
+    std::sort(attendees.begin(), attendees.end());
+    attendees.erase(std::unique(attendees.begin(), attendees.end()),
+                    attendees.end());
+    for (NodeId u : attendees) pool.push_back(u);
+    if (attendees.size() < 2) continue;
+    for (uint32_t p = 0; p < max_pairs_per_event; ++p) {
+      NodeId a = attendees[rng.Uniform(attendees.size())];
+      NodeId b = attendees[rng.Uniform(attendees.size())];
+      if (a == b) continue;
+      builder.AddEdge(a, b);
+      builder.AddEdge(b, a);
+    }
+  }
+  return builder.Build(options);
+}
+
+}  // namespace dppr

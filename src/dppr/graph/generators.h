@@ -1,0 +1,60 @@
+#ifndef DPPR_GRAPH_GENERATORS_H_
+#define DPPR_GRAPH_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dppr/graph/graph.h"
+#include "dppr/graph/graph_builder.h"
+
+namespace dppr {
+
+/// Deterministic synthetic graph generators. These are the stand-ins for the
+/// paper's real datasets (DESIGN.md §2); every generator is seeded and
+/// reproducible.
+
+/// G(n, m): m directed edges with uniformly random distinct endpoints.
+Graph ErdosRenyi(size_t num_nodes, size_t num_edges, uint64_t seed,
+                 const GraphBuildOptions& options = {});
+
+/// Directed preferential attachment: node u >= 1 adds `out_degree` edges
+/// whose targets are sampled proportionally to (in_degree + 1) over earlier
+/// nodes; each edge is reciprocated with probability `reciprocal_prob`
+/// (email graphs are reply-heavy, which keeps early nodes from becoming
+/// absorbing sinks). Produces the heavy-tailed in-degree typical of
+/// email/web link data.
+Graph PreferentialAttachment(size_t num_nodes, uint32_t out_degree, uint64_t seed,
+                             double reciprocal_prob = 0.3,
+                             const GraphBuildOptions& options = {});
+
+/// Recursive-matrix (R-MAT) generator; `scale` = log2 of node-id space.
+/// Defaults mimic the classic (0.57, 0.19, 0.19, 0.05) web-like skew.
+struct RmatParams {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+};
+Graph Rmat(uint32_t scale, size_t num_edges, uint64_t seed,
+           const RmatParams& params = {}, const GraphBuildOptions& options = {});
+
+/// Community-structured digraph: nodes are split into `num_communities`
+/// groups; each node draws `avg_out_degree` edges on average, choosing an
+/// intra-community target with probability `intra_prob` (preferential inside
+/// the community, uniform across the rest). Models social graphs whose
+/// communities give graph partitioning small separators.
+Graph CommunityDigraph(size_t num_nodes, size_t num_communities,
+                       double avg_out_degree, double intra_prob, uint64_t seed,
+                       const GraphBuildOptions& options = {});
+
+/// Co-attendance social graph (Meetup stand-in): `num_events` events each
+/// draw an attendee set (preferentially towards active users) and connect a
+/// bounded number of attendee pairs in both directions. Yields the dense,
+/// overlapping-clique structure of event co-attendance networks.
+Graph CoAttendanceGraph(size_t num_users, size_t num_events,
+                        uint32_t attendees_per_event, uint32_t max_pairs_per_event,
+                        uint64_t seed, const GraphBuildOptions& options = {});
+
+}  // namespace dppr
+
+#endif  // DPPR_GRAPH_GENERATORS_H_

@@ -1,0 +1,26 @@
+#include "dppr/graph/graph.h"
+
+#include <algorithm>
+
+namespace dppr {
+
+size_t Graph::CountDanglingNodes() const {
+  size_t count = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    if (out_degree(u) == 0) ++count;
+  }
+  return count;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+size_t Graph::MemoryBytes() const {
+  return out_offsets_.size() * sizeof(size_t) +
+         out_targets_.size() * sizeof(NodeId) +
+         in_offsets_.size() * sizeof(size_t) + in_sources_.size() * sizeof(NodeId);
+}
+
+}  // namespace dppr

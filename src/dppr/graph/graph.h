@@ -1,0 +1,80 @@
+#ifndef DPPR_GRAPH_GRAPH_H_
+#define DPPR_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dppr/common/macros.h"
+#include "dppr/graph/types.h"
+
+namespace dppr {
+
+/// Immutable directed graph in CSR (compressed sparse row) form.
+///
+/// Out-adjacency is always present; in-adjacency is built on demand by
+/// GraphBuilder (needed by reverse-push skeleton computation and by some
+/// generators/analyses). Construction goes through GraphBuilder; Graph itself
+/// only exposes read access.
+///
+/// Graph satisfies the GraphView concept used by the PPR kernels:
+///   num_nodes(), degree_denominator(u), OutNeighbors(u).
+/// For a full graph the random-walk denominator equals the out-degree.
+class Graph {
+ public:
+  Graph() = default;
+
+  size_t num_nodes() const { return out_offsets_.empty() ? 0 : out_offsets_.size() - 1; }
+  size_t num_edges() const { return out_targets_.size(); }
+
+  uint32_t out_degree(NodeId u) const {
+    DPPR_DCHECK(u < num_nodes());
+    return static_cast<uint32_t>(out_offsets_[u + 1] - out_offsets_[u]);
+  }
+
+  /// Random-walk denominator: the number of outgoing edges of u. Named this
+  /// way for interface parity with LocalGraph, where the denominator is the
+  /// *original* out-degree, not the local one.
+  uint32_t degree_denominator(NodeId u) const { return out_degree(u); }
+
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    DPPR_DCHECK(u < num_nodes());
+    return {out_targets_.data() + out_offsets_[u],
+            out_targets_.data() + out_offsets_[u + 1]};
+  }
+
+  bool has_in_edges() const { return !in_offsets_.empty(); }
+
+  uint32_t in_degree(NodeId u) const {
+    DPPR_DCHECK(has_in_edges() && u < num_nodes());
+    return static_cast<uint32_t>(in_offsets_[u + 1] - in_offsets_[u]);
+  }
+
+  std::span<const NodeId> InNeighbors(NodeId u) const {
+    DPPR_DCHECK(has_in_edges() && u < num_nodes());
+    return {in_sources_.data() + in_offsets_[u],
+            in_sources_.data() + in_offsets_[u + 1]};
+  }
+
+  /// Number of nodes with zero out-degree.
+  size_t CountDanglingNodes() const;
+
+  /// True if the directed edge (u, v) exists (binary search; adjacency is
+  /// sorted by GraphBuilder).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// Approximate heap footprint of the CSR arrays, in bytes.
+  size_t MemoryBytes() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<size_t> out_offsets_;
+  std::vector<NodeId> out_targets_;
+  std::vector<size_t> in_offsets_;   // empty unless built
+  std::vector<NodeId> in_sources_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_GRAPH_GRAPH_H_

@@ -1,0 +1,65 @@
+#include "dppr/graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace dppr {
+
+void GraphBuilder::AddEdge(NodeId from, NodeId to) {
+  DPPR_CHECK_LT(from, num_nodes_);
+  DPPR_CHECK_LT(to, num_nodes_);
+  edges_.emplace_back(from, to);
+}
+
+void GraphBuilder::AddEdges(const EdgeList& edges) {
+  for (const auto& [from, to] : edges) AddEdge(from, to);
+}
+
+Graph GraphBuilder::Build(const GraphBuildOptions& options) const {
+  EdgeList edges = edges_;
+  if (options.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.first == e.second; });
+  }
+  std::sort(edges.begin(), edges.end());
+  if (options.dedupe_parallel_edges) {
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  }
+
+  if (options.dangling == DanglingPolicy::kSelfLoop) {
+    std::vector<bool> has_out(num_nodes_, false);
+    for (const auto& [from, to] : edges) has_out[from] = true;
+    bool added = false;
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+      if (!has_out[u]) {
+        edges.emplace_back(u, u);
+        added = true;
+      }
+    }
+    if (added) std::sort(edges.begin(), edges.end());
+  }
+
+  Graph g;
+  g.out_offsets_.assign(num_nodes_ + 1, 0);
+  for (const auto& [from, to] : edges) ++g.out_offsets_[from + 1];
+  for (size_t i = 1; i <= num_nodes_; ++i) g.out_offsets_[i] += g.out_offsets_[i - 1];
+  g.out_targets_.resize(edges.size());
+  {
+    std::vector<size_t> cursor(g.out_offsets_.begin(), g.out_offsets_.end() - 1);
+    for (const auto& [from, to] : edges) g.out_targets_[cursor[from]++] = to;
+  }
+
+  if (options.build_in_edges) {
+    g.in_offsets_.assign(num_nodes_ + 1, 0);
+    for (const auto& [from, to] : edges) ++g.in_offsets_[to + 1];
+    for (size_t i = 1; i <= num_nodes_; ++i) g.in_offsets_[i] += g.in_offsets_[i - 1];
+    g.in_sources_.resize(edges.size());
+    std::vector<size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const auto& [from, to] : edges) g.in_sources_[cursor[to]++] = from;
+    for (NodeId u = 0; u < num_nodes_; ++u) {
+      std::sort(g.in_sources_.begin() + g.in_offsets_[u],
+                g.in_sources_.begin() + g.in_offsets_[u + 1]);
+    }
+  }
+  return g;
+}
+
+}  // namespace dppr

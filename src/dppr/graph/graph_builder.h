@@ -1,0 +1,60 @@
+#ifndef DPPR_GRAPH_GRAPH_BUILDER_H_
+#define DPPR_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "dppr/graph/graph.h"
+#include "dppr/graph/types.h"
+
+namespace dppr {
+
+/// What to do with dangling nodes (zero out-degree) at build time.
+///
+/// The Jeh–Widom decomposition requires query-independent precomputation, so
+/// the paper's Algorithm-2 trick of redirecting dangling mass to the query
+/// node cannot be used by the indexes. The library therefore normalizes
+/// dangling nodes once at build time and runs every engine (power iteration,
+/// GPA, HGPA, baselines) on the identical graph, keeping exactness
+/// comparisons meaningful. See DESIGN.md §2.
+enum class DanglingPolicy {
+  /// Leave dangling nodes in place; random-walk mass entering them dies.
+  kKeep,
+  /// Add a self-loop to every dangling node (default for datasets).
+  kSelfLoop,
+};
+
+struct GraphBuildOptions {
+  /// Collapse parallel edges. PPR weights walk steps by 1/out_degree, so
+  /// duplicates would skew transition probabilities unless intended.
+  bool dedupe_parallel_edges = true;
+  /// Drop edges (u, u).
+  bool remove_self_loops = false;
+  DanglingPolicy dangling = DanglingPolicy::kKeep;
+  /// Also build the in-adjacency CSR.
+  bool build_in_edges = true;
+};
+
+/// Accumulates edges and produces an immutable CSR Graph.
+class GraphBuilder {
+ public:
+  /// `num_nodes` fixes the id space [0, num_nodes). Edges with endpoints
+  /// outside the range are rejected with DPPR_CHECK.
+  explicit GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  void AddEdge(NodeId from, NodeId to);
+  void AddEdges(const EdgeList& edges);
+
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Builds the graph. The builder may be reused afterwards (it keeps its
+  /// edge buffer untouched).
+  Graph Build(const GraphBuildOptions& options = {}) const;
+
+ private:
+  size_t num_nodes_;
+  EdgeList edges_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,94 @@
+#include "dppr/graph/graph_stats.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+namespace dppr {
+namespace {
+
+// Union-find over node ids for weak-connectivity.
+class DisjointSets {
+ public:
+  explicit DisjointSets(size_t n) : parent_(n), rank_(n, 0) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+
+  NodeId Find(NodeId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(NodeId a, NodeId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (rank_[a] < rank_[b]) std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b]) ++rank_[a];
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+  std::vector<uint8_t> rank_;
+};
+
+}  // namespace
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+
+  DisjointSets sets(graph.num_nodes());
+  std::vector<uint32_t> in_degree(graph.num_nodes(), 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    uint32_t d = graph.out_degree(u);
+    if (d == 0) ++stats.num_dangling;
+    stats.max_out_degree = std::max(stats.max_out_degree, d);
+    for (NodeId v : graph.OutNeighbors(u)) {
+      if (v == u) ++stats.num_self_loops;
+      ++in_degree[v];
+      sets.Union(u, v);
+    }
+  }
+  for (uint32_t d : in_degree) stats.max_in_degree = std::max(stats.max_in_degree, d);
+  stats.avg_out_degree =
+      stats.num_nodes == 0
+          ? 0.0
+          : static_cast<double>(stats.num_edges) / static_cast<double>(stats.num_nodes);
+
+  std::vector<size_t> component_size(graph.num_nodes(), 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) ++component_size[sets.Find(u)];
+  for (size_t size : component_size) {
+    if (size > 0) {
+      ++stats.num_weak_components;
+      stats.largest_weak_component = std::max(stats.largest_weak_component, size);
+    }
+  }
+  return stats;
+}
+
+std::vector<size_t> OutDegreeHistogram(const Graph& graph, uint32_t max_degree) {
+  std::vector<size_t> histogram(max_degree + 1, 0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    ++histogram[std::min(graph.out_degree(u), max_degree)];
+  }
+  return histogram;
+}
+
+std::string GraphStats::ToString() const {
+  std::ostringstream os;
+  os << "nodes=" << num_nodes << " edges=" << num_edges
+     << " avg_out=" << avg_out_degree << " dangling=" << num_dangling
+     << " self_loops=" << num_self_loops << " max_out=" << max_out_degree
+     << " max_in=" << max_in_degree << " weak_components=" << num_weak_components
+     << " largest_weak=" << largest_weak_component;
+  return os.str();
+}
+
+}  // namespace dppr

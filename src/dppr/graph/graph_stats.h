@@ -1,0 +1,35 @@
+#ifndef DPPR_GRAPH_GRAPH_STATS_H_
+#define DPPR_GRAPH_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dppr/graph/graph.h"
+
+namespace dppr {
+
+/// Summary statistics used by dataset validation and bench logging.
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_dangling = 0;
+  size_t num_self_loops = 0;
+  uint32_t max_out_degree = 0;
+  uint32_t max_in_degree = 0;
+  double avg_out_degree = 0.0;
+  size_t num_weak_components = 0;
+  size_t largest_weak_component = 0;
+
+  std::string ToString() const;
+};
+
+GraphStats ComputeGraphStats(const Graph& graph);
+
+/// out-degree histogram: result[d] = #nodes with out-degree d (capped at
+/// `max_degree`, larger degrees counted in the last bucket).
+std::vector<size_t> OutDegreeHistogram(const Graph& graph, uint32_t max_degree);
+
+}  // namespace dppr
+
+#endif  // DPPR_GRAPH_GRAPH_STATS_H_

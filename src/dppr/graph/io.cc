@@ -1,0 +1,118 @@
+#include "dppr/graph/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "dppr/common/serialize.h"
+
+namespace dppr {
+namespace {
+
+constexpr uint64_t kBinaryMagic = 0x44505052'47525048ULL;  // "DPPRGRPH"
+constexpr uint32_t kBinaryVersion = 1;
+
+}  // namespace
+
+StatusOr<Graph> LoadEdgeList(const std::string& path,
+                             const GraphBuildOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+
+  EdgeList edges;
+  NodeId max_id = 0;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    uint64_t u = 0;
+    uint64_t v = 0;
+    if (!(ls >> u >> v)) {
+      return Status::InvalidArgument("bad edge at " + path + ":" +
+                                     std::to_string(line_number));
+    }
+    if (u >= kInvalidNode || v >= kInvalidNode) {
+      return Status::OutOfRange("node id too large at " + path + ":" +
+                                std::to_string(line_number));
+    }
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    max_id = std::max({max_id, static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  size_t num_nodes = edges.empty() ? 0 : static_cast<size_t>(max_id) + 1;
+  GraphBuilder builder(num_nodes);
+  builder.AddEdges(edges);
+  return builder.Build(options);
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# dppr edge list: nodes=" << graph.num_nodes()
+      << " edges=" << graph.num_edges() << "\n";
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.OutNeighbors(u)) out << u << ' ' << v << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status SaveBinary(const Graph& graph, const std::string& path) {
+  ByteWriter writer;
+  writer.PutU64(kBinaryMagic);
+  writer.PutU32(kBinaryVersion);
+  writer.PutVarU64(graph.num_nodes());
+  writer.PutVarU64(graph.num_edges());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    auto nbrs = graph.OutNeighbors(u);
+    writer.PutVarU64(nbrs.size());
+    NodeId prev = 0;
+    for (NodeId v : nbrs) {  // sorted by builder; delta-encode
+      writer.PutVarU64(v - prev);
+      prev = v;
+    }
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(writer.bytes().data()),
+            static_cast<std::streamsize>(writer.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+StatusOr<Graph> LoadBinary(const std::string& path,
+                           const GraphBuildOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  ByteReader reader(bytes);
+  if (reader.remaining() < 12 || reader.GetU64() != kBinaryMagic) {
+    return Status::InvalidArgument("not a dppr binary graph: " + path);
+  }
+  if (reader.GetU32() != kBinaryVersion) {
+    return Status::InvalidArgument("unsupported version: " + path);
+  }
+  size_t num_nodes = reader.GetVarU64();
+  size_t num_edges = reader.GetVarU64();
+  GraphBuilder builder(num_nodes);
+  size_t total = 0;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    size_t degree = reader.GetVarU64();
+    NodeId prev = 0;
+    for (size_t i = 0; i < degree; ++i) {
+      prev += static_cast<NodeId>(reader.GetVarU64());
+      builder.AddEdge(u, prev);
+    }
+    total += degree;
+  }
+  if (total != num_edges) {
+    return Status::InvalidArgument("edge count mismatch in " + path);
+  }
+  return builder.Build(options);
+}
+
+}  // namespace dppr

@@ -1,0 +1,74 @@
+#include "dppr/graph/local_graph.h"
+
+#include <algorithm>
+
+namespace dppr {
+
+LocalGraph LocalGraph::Induce(const Graph& original,
+                              std::span<const NodeId> global_nodes,
+                              bool build_in_edges) {
+  LocalGraph lg;
+  lg.global_ids_.assign(global_nodes.begin(), global_nodes.end());
+  lg.global_to_local_.reserve(global_nodes.size());
+  for (NodeId local = 0; local < lg.global_ids_.size(); ++local) {
+    NodeId global = lg.global_ids_[local];
+    DPPR_CHECK_LT(global, original.num_nodes());
+    bool inserted = lg.global_to_local_.emplace(global, local).second;
+    DPPR_CHECK(inserted);  // node subsets must not contain duplicates
+  }
+
+  size_t n = lg.global_ids_.size();
+  lg.degree_denominator_.resize(n);
+  lg.out_offsets_.assign(n + 1, 0);
+
+  // First pass: count internal targets per node.
+  for (NodeId local = 0; local < n; ++local) {
+    NodeId global = lg.global_ids_[local];
+    lg.degree_denominator_[local] = original.out_degree(global);
+    size_t internal = 0;
+    for (NodeId target : original.OutNeighbors(global)) {
+      if (lg.global_to_local_.contains(target)) ++internal;
+    }
+    lg.out_offsets_[local + 1] = internal;
+  }
+  for (size_t i = 1; i <= n; ++i) lg.out_offsets_[i] += lg.out_offsets_[i - 1];
+
+  lg.out_targets_.resize(lg.out_offsets_[n]);
+  {
+    std::vector<size_t> cursor(lg.out_offsets_.begin(), lg.out_offsets_.end() - 1);
+    for (NodeId local = 0; local < n; ++local) {
+      NodeId global = lg.global_ids_[local];
+      for (NodeId target : original.OutNeighbors(global)) {
+        auto it = lg.global_to_local_.find(target);
+        if (it != lg.global_to_local_.end()) {
+          lg.out_targets_[cursor[local]++] = it->second;
+        }
+      }
+    }
+  }
+
+  if (build_in_edges) {
+    lg.in_offsets_.assign(n + 1, 0);
+    for (NodeId t : lg.out_targets_) ++lg.in_offsets_[t + 1];
+    for (size_t i = 1; i <= n; ++i) lg.in_offsets_[i] += lg.in_offsets_[i - 1];
+    lg.in_sources_.resize(lg.out_targets_.size());
+    std::vector<size_t> cursor(lg.in_offsets_.begin(), lg.in_offsets_.end() - 1);
+    for (NodeId local = 0; local < n; ++local) {
+      for (NodeId target : lg.OutNeighbors(local)) {
+        lg.in_sources_[cursor[target]++] = local;
+      }
+    }
+  }
+  return lg;
+}
+
+LocalGraph LocalGraph::Whole(const Graph& original, bool build_in_edges) {
+  std::vector<NodeId> all(original.num_nodes());
+  for (NodeId u = 0; u < all.size(); ++u) all[u] = u;
+  LocalGraph lg = Induce(original, all, build_in_edges);
+  lg.identity_ = true;
+  lg.global_to_local_.clear();
+  return lg;
+}
+
+}  // namespace dppr

@@ -1,0 +1,101 @@
+#ifndef DPPR_GRAPH_LOCAL_GRAPH_H_
+#define DPPR_GRAPH_LOCAL_GRAPH_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dppr/graph/graph.h"
+#include "dppr/graph/types.h"
+
+namespace dppr {
+
+/// A *virtual subgraph* (paper Definition 3) over a node subset of an
+/// original graph.
+///
+/// Semantics: the subgraph keeps every node of the subset with its **original
+/// out-degree** as random-walk denominator, but adjacency lists contain only
+/// the targets inside the subset. Every dropped (external) edge is an edge
+/// into the implicit virtual node VN; since VN is a sink that never receives
+/// teleport mass, walk mass using such an edge simply vanishes — exactly the
+/// behaviour required by Theorem 2 (partial vector == local PPV on the
+/// virtual subgraph).
+///
+/// LocalGraph satisfies the same GraphView concept as Graph: num_nodes(),
+/// degree_denominator(u), OutNeighbors(u) (all in *local* id space).
+class LocalGraph {
+ public:
+  LocalGraph() = default;
+
+  /// Induces the virtual subgraph of `original` on `global_nodes`.
+  /// `global_nodes` must contain distinct valid ids; order defines the local
+  /// id space: local id i <=> global_nodes[i].
+  /// When `build_in_edges` is set, the local in-adjacency (used by the
+  /// reverse-push skeleton extension) is also materialized.
+  static LocalGraph Induce(const Graph& original,
+                           std::span<const NodeId> global_nodes,
+                           bool build_in_edges = false);
+
+  /// Views the entire graph as a LocalGraph (identity mapping). Used so HGPA
+  /// level-0 machinery is uniform across levels.
+  static LocalGraph Whole(const Graph& original, bool build_in_edges = false);
+
+  size_t num_nodes() const { return global_ids_.size(); }
+
+  /// Number of edges kept inside the subset.
+  size_t num_internal_edges() const { return out_targets_.size(); }
+
+  /// Random-walk denominator: the node's out-degree in the ORIGINAL graph
+  /// (internal edges + edges to the virtual node).
+  uint32_t degree_denominator(NodeId local) const {
+    DPPR_DCHECK(local < num_nodes());
+    return degree_denominator_[local];
+  }
+
+  /// Internal out-neighbors, as local ids.
+  std::span<const NodeId> OutNeighbors(NodeId local) const {
+    DPPR_DCHECK(local < num_nodes());
+    return {out_targets_.data() + out_offsets_[local],
+            out_targets_.data() + out_offsets_[local + 1]};
+  }
+
+  bool has_in_edges() const { return !in_offsets_.empty(); }
+
+  /// Internal in-neighbors, as local ids.
+  std::span<const NodeId> InNeighbors(NodeId local) const {
+    DPPR_DCHECK(has_in_edges() && local < num_nodes());
+    return {in_sources_.data() + in_offsets_[local],
+            in_sources_.data() + in_offsets_[local + 1]};
+  }
+
+  NodeId ToGlobal(NodeId local) const {
+    DPPR_DCHECK(local < num_nodes());
+    return global_ids_[local];
+  }
+
+  /// Maps a global id into the local id space; kInvalidNode when the node is
+  /// not part of this subgraph.
+  NodeId ToLocal(NodeId global) const {
+    if (identity_) {
+      return global < num_nodes() ? global : kInvalidNode;
+    }
+    auto it = global_to_local_.find(global);
+    return it == global_to_local_.end() ? kInvalidNode : it->second;
+  }
+
+  std::span<const NodeId> global_ids() const { return global_ids_; }
+
+ private:
+  bool identity_ = false;
+  std::vector<NodeId> global_ids_;
+  std::vector<uint32_t> degree_denominator_;
+  std::vector<size_t> out_offsets_;
+  std::vector<NodeId> out_targets_;
+  std::vector<size_t> in_offsets_;
+  std::vector<NodeId> in_sources_;
+  std::unordered_map<NodeId, NodeId> global_to_local_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_GRAPH_LOCAL_GRAPH_H_

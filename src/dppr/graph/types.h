@@ -1,0 +1,25 @@
+#ifndef DPPR_GRAPH_TYPES_H_
+#define DPPR_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace dppr {
+
+/// Node identifier. Graphs in this library are dense-id directed graphs with
+/// ids in [0, num_nodes).
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// A directed edge (source, target).
+using Edge = std::pair<NodeId, NodeId>;
+
+using EdgeList = std::vector<Edge>;
+
+}  // namespace dppr
+
+#endif  // DPPR_GRAPH_TYPES_H_

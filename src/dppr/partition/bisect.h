@@ -1,0 +1,40 @@
+#ifndef DPPR_PARTITION_BISECT_H_
+#define DPPR_PARTITION_BISECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dppr/partition/wgraph.h"
+
+namespace dppr {
+
+/// Options for multilevel 2-way partitioning (METIS-style: coarsen with
+/// heavy-edge matching, greedy graph growing on the coarsest graph, FM
+/// refinement while uncoarsening).
+struct BisectOptions {
+  /// Weight fraction assigned to side 0 (0.5 = balanced bisection; recursive
+  /// k-way uses other fractions for odd splits).
+  double target_fraction = 0.5;
+  /// A side may weigh at most `imbalance` times its target weight.
+  double imbalance = 1.10;
+  /// Independent initial partitions tried on the coarsest graph.
+  int num_initial_tries = 4;
+  /// Coarsening stops at this many nodes.
+  size_t coarsest_size = 64;
+  /// FM passes per level.
+  int refine_passes = 4;
+  uint64_t seed = 1;
+};
+
+/// Computes a 2-way partition; result[u] in {0, 1}.
+std::vector<uint8_t> MultilevelBisect(const WGraph& graph,
+                                      const BisectOptions& options);
+
+/// In-place boundary FM refinement of an existing bisection; returns the
+/// final cut weight. Exposed for tests and for the k-way driver.
+uint64_t FmRefine(const WGraph& graph, std::vector<uint8_t>& side,
+                  const BisectOptions& options);
+
+}  // namespace dppr
+
+#endif  // DPPR_PARTITION_BISECT_H_

@@ -1,0 +1,79 @@
+#include "dppr/partition/coarsen.h"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace dppr {
+
+CoarsenResult CoarsenHeavyEdge(const WGraph& graph, Rng& rng,
+                               uint64_t max_node_weight) {
+  size_t n = graph.num_nodes();
+  std::vector<NodeId> match(n, kInvalidNode);
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  for (size_t i = n; i > 1; --i) {  // Fisher-Yates
+    std::swap(order[i - 1], order[rng.Uniform(i)]);
+  }
+
+  for (NodeId u : order) {
+    if (match[u] != kInvalidNode) continue;
+    NodeId best = kInvalidNode;
+    uint32_t best_weight = 0;
+    for (const auto& nbr : graph.neighbors(u)) {
+      if (match[nbr.to] != kInvalidNode || nbr.to == u) continue;
+      if (max_node_weight > 0 &&
+          static_cast<uint64_t>(graph.node_weight(u)) + graph.node_weight(nbr.to) >
+              max_node_weight) {
+        continue;
+      }
+      if (nbr.weight > best_weight) {
+        best_weight = nbr.weight;
+        best = nbr.to;
+      }
+    }
+    if (best != kInvalidNode) {
+      match[u] = best;
+      match[best] = u;
+    } else {
+      match[u] = u;  // singleton
+    }
+  }
+
+  CoarsenResult result;
+  result.fine_to_coarse.assign(n, kInvalidNode);
+  NodeId next_coarse = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (result.fine_to_coarse[u] != kInvalidNode) continue;
+    result.fine_to_coarse[u] = next_coarse;
+    if (match[u] != u) result.fine_to_coarse[match[u]] = next_coarse;
+    ++next_coarse;
+  }
+
+  WGraph coarse(next_coarse);
+  for (NodeId c = 0; c < next_coarse; ++c) coarse.set_node_weight(c, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    NodeId c = result.fine_to_coarse[u];
+    coarse.set_node_weight(c, coarse.node_weight(c) + graph.node_weight(u));
+  }
+  // Merge edges between coarse endpoints.
+  std::unordered_map<uint64_t, uint32_t> pair_weight;
+  for (NodeId u = 0; u < n; ++u) {
+    NodeId cu = result.fine_to_coarse[u];
+    for (const auto& nbr : graph.neighbors(u)) {
+      if (u >= nbr.to) continue;  // each undirected edge once
+      NodeId cv = result.fine_to_coarse[nbr.to];
+      if (cu == cv) continue;  // interior edge disappears
+      NodeId lo = std::min(cu, cv);
+      NodeId hi = std::max(cu, cv);
+      pair_weight[(static_cast<uint64_t>(lo) << 32) | hi] += nbr.weight;
+    }
+  }
+  for (const auto& [key, weight] : pair_weight) {
+    coarse.AddEdgeWeight(static_cast<NodeId>(key >> 32),
+                         static_cast<NodeId>(key & 0xFFFFFFFFu), weight);
+  }
+  result.coarse = std::move(coarse);
+  return result;
+}
+
+}  // namespace dppr

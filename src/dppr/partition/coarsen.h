@@ -1,0 +1,30 @@
+#ifndef DPPR_PARTITION_COARSEN_H_
+#define DPPR_PARTITION_COARSEN_H_
+
+#include <vector>
+
+#include "dppr/common/rng.h"
+#include "dppr/partition/wgraph.h"
+
+namespace dppr {
+
+/// One coarsening step: heavy-edge matching + contraction (the METIS
+/// multilevel scheme [26]).
+struct CoarsenResult {
+  WGraph coarse;
+  /// fine node id -> coarse node id.
+  std::vector<NodeId> fine_to_coarse;
+};
+
+/// Matches each unmatched node with its heaviest-edge unmatched neighbor
+/// (visit order randomized by `rng`) and contracts matched pairs. A node with
+/// no unmatched neighbor maps to a singleton coarse node.
+/// `max_node_weight` (0 = unlimited) rejects matches whose combined weight
+/// would exceed the cap — without it, star-like graphs collapse into a few
+/// monster nodes that no balanced bisection can split.
+CoarsenResult CoarsenHeavyEdge(const WGraph& graph, Rng& rng,
+                               uint64_t max_node_weight = 0);
+
+}  // namespace dppr
+
+#endif  // DPPR_PARTITION_COARSEN_H_

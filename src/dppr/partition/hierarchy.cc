@@ -1,0 +1,205 @@
+#include "dppr/partition/hierarchy.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dppr/partition/hub_selection.h"
+
+namespace dppr {
+namespace {
+
+struct BuildState {
+  std::vector<HierarchySubgraph> subgraphs;
+  std::vector<SubgraphId> hub_of;
+  std::vector<SubgraphId> final_subgraph;
+};
+
+void FinishAsLeaf(BuildState& state, SubgraphId id) {
+  for (NodeId u : state.subgraphs[id].nodes) state.final_subgraph[u] = id;
+}
+
+// Splits subgraph `id`; returns true if children were created.
+bool SplitSubgraph(const Graph& graph, const HierarchyOptions& options,
+                   BuildState& state, SubgraphId id) {
+  HierarchySubgraph& sub = state.subgraphs[id];
+  LocalGraph lg = LocalGraph::Induce(graph, sub.nodes);
+  sub.internal_edges = lg.num_internal_edges();
+  if (sub.level >= options.max_levels) return false;
+  if (sub.nodes.size() <= options.min_subgraph_size) return false;
+  if (lg.num_internal_edges() == 0) return false;
+
+  PartitionOptions popt = options.partition;
+  popt.seed = options.partition.seed ^ (0x51ED2701ULL * (id + 1));
+  std::vector<uint32_t> part = PartitionLocalGraph(lg, options.fanout, popt);
+
+  HubSelection selection = SelectHubs(lg, part, options.fanout);
+  std::vector<uint8_t> is_local_hub(lg.num_nodes(), 0);
+  for (NodeId h : selection.hubs) is_local_hub[h] = 1;
+
+  // Child node sets: per part, non-hub members.
+  std::vector<std::vector<NodeId>> child_nodes(options.fanout);
+  for (NodeId local = 0; local < lg.num_nodes(); ++local) {
+    if (!is_local_hub[local]) {
+      child_nodes[part[local]].push_back(lg.ToGlobal(local));
+    }
+  }
+  size_t nonempty = 0;
+  for (const auto& nodes : child_nodes) nonempty += !nodes.empty();
+  // Degenerate splits: everything became a hub, or nothing separated.
+  if (nonempty == 0) return false;
+  if (nonempty == 1 && selection.hubs.empty()) return false;
+
+  std::vector<NodeId> hub_globals;
+  hub_globals.reserve(selection.hubs.size());
+  for (NodeId h : selection.hubs) hub_globals.push_back(lg.ToGlobal(h));
+  std::sort(hub_globals.begin(), hub_globals.end());
+  sub.hubs = hub_globals;
+  for (NodeId h : hub_globals) {
+    state.hub_of[h] = id;
+    state.final_subgraph[h] = id;
+  }
+
+  uint32_t child_level = sub.level + 1;
+  for (auto& nodes : child_nodes) {
+    if (nodes.empty()) continue;
+    HierarchySubgraph child;
+    child.id = static_cast<SubgraphId>(state.subgraphs.size());
+    child.level = child_level;
+    child.parent = id;
+    std::sort(nodes.begin(), nodes.end());
+    child.nodes = std::move(nodes);
+    state.subgraphs[id].children.push_back(child.id);
+    state.subgraphs.push_back(std::move(child));
+  }
+  return true;
+}
+
+}  // namespace
+
+// -- Hierarchy definition ----------------------------------------------------
+
+Hierarchy Hierarchy::Build(const Graph& graph, const HierarchyOptions& options) {
+  DPPR_CHECK_GE(options.fanout, 2u);
+  BuildState state;
+  state.hub_of.assign(graph.num_nodes(), kInvalidSubgraph);
+  state.final_subgraph.assign(graph.num_nodes(), kInvalidSubgraph);
+
+  HierarchySubgraph root;
+  root.id = 0;
+  root.level = 0;
+  root.nodes.resize(graph.num_nodes());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) root.nodes[u] = u;
+  state.subgraphs.push_back(std::move(root));
+
+  std::deque<SubgraphId> queue{0};
+  while (!queue.empty()) {
+    SubgraphId id = queue.front();
+    queue.pop_front();
+    if (SplitSubgraph(graph, options, state, id)) {
+      for (SubgraphId child : state.subgraphs[id].children) queue.push_back(child);
+    } else {
+      FinishAsLeaf(state, id);
+    }
+  }
+
+  Hierarchy h;
+  h.subgraphs_ = std::move(state.subgraphs);
+  h.hub_of_ = std::move(state.hub_of);
+  h.final_subgraph_ = std::move(state.final_subgraph);
+  for (const auto& sub : h.subgraphs_) {
+    if (sub.children.empty()) h.leaves_.push_back(sub.id);
+    h.num_levels_ = std::max(h.num_levels_, sub.level + 1);
+  }
+  return h;
+}
+
+Hierarchy Hierarchy::BuildFlat(const Graph& graph, uint32_t num_parts,
+                               const PartitionOptions& options) {
+  HierarchyOptions hopt;
+  hopt.fanout = std::max(2u, num_parts);
+  hopt.max_levels = 1;
+  hopt.partition = options;
+  return Build(graph, hopt);
+}
+
+std::vector<SubgraphId> Hierarchy::Chain(NodeId u) const {
+  DPPR_CHECK_LT(u, final_subgraph_.size());
+  std::vector<SubgraphId> chain;
+  SubgraphId id = final_subgraph_[u];
+  while (id != kInvalidSubgraph) {
+    chain.push_back(id);
+    id = subgraphs_[id].parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+std::vector<size_t> Hierarchy::HubCountPerLevel() const {
+  std::vector<size_t> counts(num_levels_, 0);
+  for (const auto& sub : subgraphs_) counts[sub.level] += sub.hubs.size();
+  while (!counts.empty() && counts.back() == 0) counts.pop_back();
+  return counts;
+}
+
+size_t Hierarchy::TotalHubCount() const {
+  size_t total = 0;
+  for (const auto& sub : subgraphs_) total += sub.hubs.size();
+  return total;
+}
+
+Status Hierarchy::Validate(const Graph& graph) const {
+  if (final_subgraph_.size() != graph.num_nodes()) {
+    return Status::FailedPrecondition("hierarchy built for a different graph");
+  }
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (final_subgraph_[u] == kInvalidSubgraph) {
+      return Status::Internal("node without final subgraph: " + std::to_string(u));
+    }
+  }
+  for (const auto& sub : subgraphs_) {
+    if (sub.children.empty()) {
+      if (!sub.hubs.empty()) return Status::Internal("leaf with hubs");
+      continue;
+    }
+    // children ∪ hubs must equal nodes, disjointly.
+    size_t child_total = sub.hubs.size();
+    std::unordered_set<NodeId> seen(sub.hubs.begin(), sub.hubs.end());
+    if (seen.size() != sub.hubs.size()) return Status::Internal("duplicate hubs");
+    for (SubgraphId c : sub.children) {
+      const auto& child = subgraphs_[c];
+      if (child.parent != sub.id || child.level != sub.level + 1) {
+        return Status::Internal("broken parent/level link");
+      }
+      child_total += child.nodes.size();
+      for (NodeId u : child.nodes) {
+        if (!seen.insert(u).second) {
+          return Status::Internal("node in two children: " + std::to_string(u));
+        }
+      }
+    }
+    if (child_total != sub.nodes.size()) {
+      return Status::Internal("children+hubs do not cover subgraph");
+    }
+    // Separation: an original edge between two non-hub members of this
+    // subgraph must stay within one child.
+    std::unordered_map<NodeId, SubgraphId> owner;
+    owner.reserve(sub.nodes.size());
+    for (SubgraphId c : sub.children) {
+      for (NodeId u : subgraphs_[c].nodes) owner[u] = c;
+    }
+    for (const auto& [u, cu] : owner) {
+      for (NodeId v : graph.OutNeighbors(u)) {
+        auto it = owner.find(v);
+        if (it != owner.end() && it->second != cu) {
+          return Status::FailedPrecondition(
+              "separation violated in subgraph " + std::to_string(sub.id));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dppr

@@ -1,0 +1,112 @@
+#ifndef DPPR_PARTITION_HIERARCHY_H_
+#define DPPR_PARTITION_HIERARCHY_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "dppr/common/status.h"
+#include "dppr/graph/graph.h"
+#include "dppr/graph/local_graph.h"
+#include "dppr/partition/partition.h"
+
+namespace dppr {
+
+using SubgraphId = uint32_t;
+inline constexpr SubgraphId kInvalidSubgraph =
+    std::numeric_limits<SubgraphId>::max();
+
+/// One node of the subgraph tree (paper Figure 6). `nodes` contains the
+/// subgraph's global node ids *including* its hubs; `hubs` are the separators
+/// of its children (empty for leaves). Children's node sets partition
+/// `nodes` minus `hubs`.
+struct HierarchySubgraph {
+  SubgraphId id = kInvalidSubgraph;
+  uint32_t level = 0;
+  SubgraphId parent = kInvalidSubgraph;
+  std::vector<SubgraphId> children;
+  std::vector<NodeId> nodes;  // sorted global ids
+  std::vector<NodeId> hubs;   // sorted global ids, subset of nodes
+  size_t internal_edges = 0;
+};
+
+/// Options controlling hierarchical partitioning (paper §4.2).
+struct HierarchyOptions {
+  /// Subgraphs per split (2 = the paper's default two-way hierarchy).
+  uint32_t fanout = 2;
+  /// Number of partitioning levels; leaves live at this level. The paper
+  /// partitions "until no edges exist within each subgraph"; a high cap with
+  /// stop_when_no_edges keeps that behaviour.
+  uint32_t max_levels = 32;
+  /// Subgraphs at or below this size are not split further.
+  size_t min_subgraph_size = 2;
+  PartitionOptions partition;
+};
+
+/// The full hierarchical partition of a graph: the subgraph tree plus
+/// per-node lookups (is the node a hub and of which subgraph / which leaf
+/// holds it). Immutable after Build.
+class Hierarchy {
+ public:
+  /// Builds the hierarchy by recursive partitioning with hub extraction.
+  static Hierarchy Build(const Graph& graph, const HierarchyOptions& options);
+
+  /// Builds a flat single-level "hierarchy": the root is split `num_parts`
+  /// ways, its children are leaves. This is exactly the structure GPA uses,
+  /// letting GPA and HGPA share precomputation machinery.
+  static Hierarchy BuildFlat(const Graph& graph, uint32_t num_parts,
+                             const PartitionOptions& options);
+
+  size_t num_subgraphs() const { return subgraphs_.size(); }
+  const HierarchySubgraph& subgraph(SubgraphId id) const {
+    DPPR_CHECK_LT(id, subgraphs_.size());
+    return subgraphs_[id];
+  }
+  const std::vector<HierarchySubgraph>& subgraphs() const { return subgraphs_; }
+
+  SubgraphId root() const { return 0; }
+
+  /// Number of levels (root level 0 .. deepest leaf level inclusive).
+  uint32_t num_levels() const { return num_levels_; }
+
+  size_t num_nodes() const { return final_subgraph_.size(); }
+
+  bool is_hub(NodeId u) const { return hub_of_[u] != kInvalidSubgraph; }
+
+  /// Subgraph whose hub set contains u (kInvalidSubgraph for non-hubs).
+  SubgraphId hub_subgraph(NodeId u) const { return hub_of_[u]; }
+
+  /// Deepest subgraph containing u: the leaf for non-hubs, the subgraph
+  /// where u became a hub otherwise.
+  SubgraphId final_subgraph(NodeId u) const { return final_subgraph_[u]; }
+
+  /// Chain of subgraph ids containing u from root down to final_subgraph(u).
+  std::vector<SubgraphId> Chain(NodeId u) const;
+
+  /// Ids of all leaves (subgraphs with no children).
+  const std::vector<SubgraphId>& leaves() const { return leaves_; }
+
+  /// Total hub count at each level (paper Tables 2–5).
+  std::vector<size_t> HubCountPerLevel() const;
+
+  /// Total number of hub nodes across all levels.
+  size_t TotalHubCount() const;
+
+  /// Structural validation against the original graph:
+  ///  - children node sets partition (nodes minus hubs),
+  ///  - every node has a final subgraph,
+  ///  - hub separation: within each split subgraph, no original edge links
+  ///    two different children (Thms. 1/3 rely on this).
+  Status Validate(const Graph& graph) const;
+
+ private:
+  std::vector<HierarchySubgraph> subgraphs_;
+  std::vector<SubgraphId> hub_of_;          // per node
+  std::vector<SubgraphId> final_subgraph_;  // per node
+  std::vector<SubgraphId> leaves_;
+  uint32_t num_levels_ = 0;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_PARTITION_HIERARCHY_H_

@@ -1,0 +1,106 @@
+#include "dppr/partition/hub_selection.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dppr/partition/matching.h"
+#include "dppr/partition/vertex_cover.h"
+
+namespace dppr {
+namespace {
+
+// Collects undirected crossing pairs {u, v} with part[u] != part[v].
+EdgeList CollectCutPairs(const LocalGraph& lg, const std::vector<uint32_t>& part) {
+  std::unordered_set<uint64_t> seen;
+  EdgeList pairs;
+  for (NodeId u = 0; u < lg.num_nodes(); ++u) {
+    for (NodeId v : lg.OutNeighbors(u)) {
+      if (part[u] == part[v]) continue;
+      NodeId lo = std::min(u, v);
+      NodeId hi = std::max(u, v);
+      uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
+      if (seen.insert(key).second) pairs.emplace_back(lo, hi);
+    }
+  }
+  return pairs;
+}
+
+std::vector<NodeId> KonigCover(const LocalGraph& lg,
+                               const std::vector<uint32_t>& part,
+                               const EdgeList& pairs) {
+  // Compact the incident vertices of each side.
+  std::vector<NodeId> left_nodes;
+  std::vector<NodeId> right_nodes;
+  std::vector<NodeId> left_index(lg.num_nodes(), kInvalidNode);
+  std::vector<NodeId> right_index(lg.num_nodes(), kInvalidNode);
+  auto intern = [](std::vector<NodeId>& nodes, std::vector<NodeId>& index,
+                   NodeId u) {
+    if (index[u] == kInvalidNode) {
+      index[u] = static_cast<NodeId>(nodes.size());
+      nodes.push_back(u);
+    }
+    return index[u];
+  };
+  EdgeList bipartite;
+  bipartite.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    NodeId u0 = part[a] == 0 ? a : b;  // endpoint in part 0
+    NodeId u1 = part[a] == 0 ? b : a;  // endpoint in part 1
+    bipartite.emplace_back(intern(left_nodes, left_index, u0),
+                           intern(right_nodes, right_index, u1));
+  }
+  BipartiteMatcher matcher(left_nodes.size(), right_nodes.size());
+  for (const auto& [l, r] : bipartite) matcher.AddEdge(l, r);
+  matcher.Solve();
+  auto [cover_left, cover_right] = matcher.MinVertexCover();
+  std::vector<NodeId> hubs;
+  for (NodeId l = 0; l < left_nodes.size(); ++l) {
+    if (cover_left[l]) hubs.push_back(left_nodes[l]);
+  }
+  for (NodeId r = 0; r < right_nodes.size(); ++r) {
+    if (cover_right[r]) hubs.push_back(right_nodes[r]);
+  }
+  return hubs;
+}
+
+}  // namespace
+
+HubSelection SelectHubs(const LocalGraph& lg, const std::vector<uint32_t>& part,
+                        uint32_t num_parts) {
+  DPPR_CHECK_EQ(part.size(), lg.num_nodes());
+  HubSelection selection;
+  EdgeList pairs = CollectCutPairs(lg, part);
+  selection.num_cut_pairs = pairs.size();
+  if (pairs.empty()) return selection;
+
+  bool two_way = num_parts == 2 &&
+                 std::all_of(part.begin(), part.end(),
+                             [](uint32_t p) { return p <= 1; });
+  selection.hubs = two_way ? KonigCover(lg, part, pairs)
+                           : GreedyVertexCover(lg.num_nodes(), pairs);
+  std::sort(selection.hubs.begin(), selection.hubs.end());
+  return selection;
+}
+
+Status VerifySeparation(const LocalGraph& lg, const std::vector<uint32_t>& part,
+                        const std::vector<NodeId>& hubs) {
+  std::vector<uint8_t> is_hub(lg.num_nodes(), 0);
+  for (NodeId h : hubs) {
+    if (h >= lg.num_nodes()) return Status::InvalidArgument("hub id out of range");
+    is_hub[h] = 1;
+  }
+  for (NodeId u = 0; u < lg.num_nodes(); ++u) {
+    if (is_hub[u]) continue;
+    for (NodeId v : lg.OutNeighbors(u)) {
+      if (is_hub[v]) continue;
+      if (part[u] != part[v]) {
+        return Status::FailedPrecondition(
+            "edge between parts " + std::to_string(part[u]) + " and " +
+            std::to_string(part[v]) + " not covered by hubs");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dppr

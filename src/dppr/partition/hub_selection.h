@@ -1,0 +1,31 @@
+#ifndef DPPR_PARTITION_HUB_SELECTION_H_
+#define DPPR_PARTITION_HUB_SELECTION_H_
+
+#include <vector>
+
+#include "dppr/common/status.h"
+#include "dppr/graph/local_graph.h"
+
+namespace dppr {
+
+/// Result of turning a partition's cut edges into hub nodes (paper §3.1,
+/// §4.2, Appendix D). Ids are local to the LocalGraph that was partitioned.
+struct HubSelection {
+  std::vector<NodeId> hubs;     // sorted local ids
+  size_t num_cut_pairs = 0;     // undirected crossing pairs
+};
+
+/// Selects a vertex cover of the cut edges of `part`. For 2-way partitions
+/// the cut graph is bipartite and the cover is *minimum* (Hopcroft–Karp +
+/// Kőnig, paper ref [33]); for more parts a greedy cover is used (App. D).
+HubSelection SelectHubs(const LocalGraph& lg, const std::vector<uint32_t>& part,
+                        uint32_t num_parts);
+
+/// Verifies the defining hub property: after removing hub nodes, no internal
+/// edge connects different parts. This is what makes GPA/HGPA exact.
+Status VerifySeparation(const LocalGraph& lg, const std::vector<uint32_t>& part,
+                        const std::vector<NodeId>& hubs);
+
+}  // namespace dppr
+
+#endif  // DPPR_PARTITION_HUB_SELECTION_H_

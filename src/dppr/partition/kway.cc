@@ -1,0 +1,76 @@
+#include "dppr/partition/kway.h"
+
+#include "dppr/common/macros.h"
+
+namespace dppr {
+namespace {
+
+// Extracts the sub-WGraph induced on nodes with side[u] == which.
+struct SubWGraph {
+  WGraph graph;
+  std::vector<NodeId> to_parent;
+};
+
+SubWGraph Extract(const WGraph& graph, const std::vector<uint8_t>& side,
+                  uint8_t which) {
+  SubWGraph sub;
+  std::vector<NodeId> to_sub(graph.num_nodes(), kInvalidNode);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    if (side[u] == which) {
+      to_sub[u] = static_cast<NodeId>(sub.to_parent.size());
+      sub.to_parent.push_back(u);
+    }
+  }
+  sub.graph = WGraph(sub.to_parent.size());
+  for (NodeId s = 0; s < sub.to_parent.size(); ++s) {
+    sub.graph.set_node_weight(s, graph.node_weight(sub.to_parent[s]));
+  }
+  for (NodeId s = 0; s < sub.to_parent.size(); ++s) {
+    NodeId u = sub.to_parent[s];
+    for (const auto& nbr : graph.neighbors(u)) {
+      NodeId t = to_sub[nbr.to];
+      if (t != kInvalidNode && s < t) sub.graph.AddEdgeWeight(s, t, nbr.weight);
+    }
+  }
+  return sub;
+}
+
+void KwayRecurse(const WGraph& graph, uint32_t num_parts, uint32_t first_part,
+                 const BisectOptions& options, const std::vector<NodeId>& to_root,
+                 std::vector<uint32_t>& out) {
+  if (num_parts <= 1 || graph.num_nodes() == 0) {
+    for (NodeId u : to_root) out[u] = first_part;
+    return;
+  }
+  uint32_t left_parts = num_parts / 2;
+  uint32_t right_parts = num_parts - left_parts;
+
+  BisectOptions local = options;
+  local.target_fraction =
+      static_cast<double>(left_parts) / static_cast<double>(num_parts);
+  local.seed = options.seed ^ (0x9E3779B9u * (first_part + num_parts));
+  std::vector<uint8_t> side = MultilevelBisect(graph, local);
+
+  SubWGraph left = Extract(graph, side, 0);
+  SubWGraph right = Extract(graph, side, 1);
+  // Lift local ids back to root ids.
+  for (auto& id : left.to_parent) id = to_root[id];
+  for (auto& id : right.to_parent) id = to_root[id];
+  KwayRecurse(left.graph, left_parts, first_part, options, left.to_parent, out);
+  KwayRecurse(right.graph, right_parts, first_part + left_parts, options,
+              right.to_parent, out);
+}
+
+}  // namespace
+
+std::vector<uint32_t> RecursiveKway(const WGraph& graph, uint32_t num_parts,
+                                    const BisectOptions& options) {
+  DPPR_CHECK_GE(num_parts, 1u);
+  std::vector<uint32_t> part(graph.num_nodes(), 0);
+  std::vector<NodeId> identity(graph.num_nodes());
+  for (NodeId u = 0; u < identity.size(); ++u) identity[u] = u;
+  KwayRecurse(graph, num_parts, 0, options, identity, part);
+  return part;
+}
+
+}  // namespace dppr

@@ -1,0 +1,21 @@
+#ifndef DPPR_PARTITION_KWAY_H_
+#define DPPR_PARTITION_KWAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dppr/partition/bisect.h"
+#include "dppr/partition/wgraph.h"
+
+namespace dppr {
+
+/// k-way partitioning by recursive bisection (the multilevel 2-way method of
+/// [26] applied recursively, as the paper does for its m-way hierarchies).
+/// Returns part ids in [0, num_parts). num_parts may be any value >= 1; odd
+/// values split proportionally.
+std::vector<uint32_t> RecursiveKway(const WGraph& graph, uint32_t num_parts,
+                                    const BisectOptions& options);
+
+}  // namespace dppr
+
+#endif  // DPPR_PARTITION_KWAY_H_

@@ -1,0 +1,122 @@
+#include "dppr/partition/matching.h"
+
+#include <deque>
+#include <limits>
+
+#include "dppr/common/macros.h"
+
+namespace dppr {
+namespace {
+constexpr uint32_t kInf = std::numeric_limits<uint32_t>::max();
+}  // namespace
+
+BipartiteMatcher::BipartiteMatcher(size_t num_left, size_t num_right)
+    : num_left_(num_left),
+      num_right_(num_right),
+      adj_(num_left),
+      match_left_(num_left, kInvalidNode),
+      match_right_(num_right, kInvalidNode),
+      dist_(num_left, kInf) {}
+
+void BipartiteMatcher::AddEdge(NodeId left, NodeId right) {
+  DPPR_CHECK_LT(left, num_left_);
+  DPPR_CHECK_LT(right, num_right_);
+  adj_[left].push_back(right);
+}
+
+bool BipartiteMatcher::Bfs() {
+  std::deque<NodeId> queue;
+  for (NodeId l = 0; l < num_left_; ++l) {
+    if (match_left_[l] == kInvalidNode) {
+      dist_[l] = 0;
+      queue.push_back(l);
+    } else {
+      dist_[l] = kInf;
+    }
+  }
+  bool found_augmenting = false;
+  while (!queue.empty()) {
+    NodeId l = queue.front();
+    queue.pop_front();
+    for (NodeId r : adj_[l]) {
+      NodeId next = match_right_[r];
+      if (next == kInvalidNode) {
+        found_augmenting = true;
+      } else if (dist_[next] == kInf) {
+        dist_[next] = dist_[l] + 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+bool BipartiteMatcher::Dfs(NodeId left) {
+  for (NodeId r : adj_[left]) {
+    NodeId next = match_right_[r];
+    if (next == kInvalidNode || (dist_[next] == dist_[left] + 1 && Dfs(next))) {
+      match_left_[left] = r;
+      match_right_[r] = left;
+      return true;
+    }
+  }
+  dist_[left] = kInf;
+  return false;
+}
+
+size_t BipartiteMatcher::Solve() {
+  if (!solved_) {
+    while (Bfs()) {
+      for (NodeId l = 0; l < num_left_; ++l) {
+        if (match_left_[l] == kInvalidNode) Dfs(l);
+      }
+    }
+    solved_ = true;
+  }
+  size_t size = 0;
+  for (NodeId l = 0; l < num_left_; ++l) {
+    if (match_left_[l] != kInvalidNode) ++size;
+  }
+  return size;
+}
+
+std::pair<std::vector<uint8_t>, std::vector<uint8_t>>
+BipartiteMatcher::MinVertexCover() const {
+  DPPR_CHECK(solved_);
+  // Kőnig: let Z = vertices reachable from unmatched left vertices by
+  // alternating paths (unmatched edges left->right, matched edges
+  // right->left). Cover = (L \ Z) ∪ (R ∩ Z).
+  std::vector<uint8_t> visited_left(num_left_, 0);
+  std::vector<uint8_t> visited_right(num_right_, 0);
+  std::deque<NodeId> queue;
+  for (NodeId l = 0; l < num_left_; ++l) {
+    if (match_left_[l] == kInvalidNode) {
+      visited_left[l] = 1;
+      queue.push_back(l);
+    }
+  }
+  while (!queue.empty()) {
+    NodeId l = queue.front();
+    queue.pop_front();
+    for (NodeId r : adj_[l]) {
+      if (match_left_[l] == r || visited_right[r]) continue;  // only unmatched edges
+      visited_right[r] = 1;
+      NodeId next = match_right_[r];
+      if (next != kInvalidNode && !visited_left[next]) {
+        visited_left[next] = 1;
+        queue.push_back(next);
+      }
+    }
+  }
+  std::vector<uint8_t> cover_left(num_left_, 0);
+  std::vector<uint8_t> cover_right(num_right_, 0);
+  for (NodeId l = 0; l < num_left_; ++l) cover_left[l] = !visited_left[l];
+  for (NodeId r = 0; r < num_right_; ++r) cover_right[r] = visited_right[r];
+  // Only vertices incident to edges can be required; strip isolated lefts.
+  for (NodeId l = 0; l < num_left_; ++l) {
+    if (adj_[l].empty()) cover_left[l] = 0;
+  }
+  return {std::move(cover_left), std::move(cover_right)};
+}
+
+}  // namespace dppr

@@ -1,0 +1,107 @@
+#include "dppr/partition/partition.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "dppr/common/rng.h"
+#include "dppr/partition/kway.h"
+
+namespace dppr {
+namespace {
+
+std::vector<uint32_t> RandomPartition(const LocalGraph& lg, uint32_t num_parts,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint32_t> part(lg.num_nodes());
+  // Balanced random: shuffle, then deal round-robin.
+  std::vector<NodeId> order(lg.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Uniform(i)]);
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    part[order[i]] = static_cast<uint32_t>(i % num_parts);
+  }
+  return part;
+}
+
+std::vector<uint32_t> BfsPartition(const LocalGraph& lg, uint32_t num_parts,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  size_t n = lg.num_nodes();
+  std::vector<uint32_t> part(n, 0);
+  std::vector<uint8_t> visited(n, 0);
+  size_t chunk = (n + num_parts - 1) / num_parts;
+  size_t assigned = 0;
+  std::deque<NodeId> queue;
+  NodeId scan = 0;
+  while (assigned < n) {
+    if (queue.empty()) {
+      while (scan < n && visited[scan]) ++scan;
+      if (scan >= n) break;
+      queue.push_back(scan);
+      visited[scan] = 1;
+    }
+    NodeId u = queue.front();
+    queue.pop_front();
+    part[u] = static_cast<uint32_t>(std::min<size_t>(assigned / chunk, num_parts - 1));
+    ++assigned;
+    for (NodeId v : lg.OutNeighbors(u)) {
+      if (!visited[v]) {
+        visited[v] = 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  (void)rng;
+  return part;
+}
+
+}  // namespace
+
+std::vector<uint32_t> PartitionLocalGraph(const LocalGraph& lg, uint32_t num_parts,
+                                          const PartitionOptions& options) {
+  DPPR_CHECK_GE(num_parts, 1u);
+  if (num_parts == 1 || lg.num_nodes() <= 1) {
+    return std::vector<uint32_t>(lg.num_nodes(), 0);
+  }
+  switch (options.method) {
+    case PartitionMethod::kRandom:
+      return RandomPartition(lg, num_parts, options.seed);
+    case PartitionMethod::kBfs:
+      return BfsPartition(lg, num_parts, options.seed);
+    case PartitionMethod::kMultilevel: {
+      WGraph wg = WGraph::FromLocalGraph(lg);
+      BisectOptions bisect = options.bisect;
+      bisect.seed = options.seed;
+      return RecursiveKway(wg, num_parts, bisect);
+    }
+  }
+  DPPR_CHECK(false);
+  return {};
+}
+
+PartitionQuality EvaluatePartition(const LocalGraph& lg,
+                                   const std::vector<uint32_t>& part,
+                                   uint32_t num_parts) {
+  DPPR_CHECK_EQ(part.size(), lg.num_nodes());
+  PartitionQuality quality;
+  std::vector<size_t> sizes(num_parts, 0);
+  for (NodeId u = 0; u < lg.num_nodes(); ++u) {
+    DPPR_CHECK_LT(part[u], num_parts);
+    ++sizes[part[u]];
+    for (NodeId v : lg.OutNeighbors(u)) {
+      if (part[v] != part[u]) ++quality.cut_edges;
+    }
+  }
+  quality.largest_part = *std::max_element(sizes.begin(), sizes.end());
+  quality.smallest_part = *std::min_element(sizes.begin(), sizes.end());
+  double ideal =
+      static_cast<double>(lg.num_nodes()) / static_cast<double>(num_parts);
+  quality.balance =
+      ideal > 0 ? static_cast<double>(quality.largest_part) / ideal : 0.0;
+  return quality;
+}
+
+}  // namespace dppr

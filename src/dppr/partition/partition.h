@@ -1,0 +1,46 @@
+#ifndef DPPR_PARTITION_PARTITION_H_
+#define DPPR_PARTITION_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dppr/graph/local_graph.h"
+#include "dppr/partition/bisect.h"
+
+namespace dppr {
+
+/// Partitioning strategies. kMultilevel is the METIS-substitute used by GPA
+/// and HGPA; kBfs and kRandom exist for the partitioner ablation (they yield
+/// many more hub nodes, blowing up precomputation space).
+enum class PartitionMethod {
+  kMultilevel,
+  kBfs,
+  kRandom,
+};
+
+struct PartitionOptions {
+  PartitionMethod method = PartitionMethod::kMultilevel;
+  uint64_t seed = 1;
+  BisectOptions bisect;
+};
+
+/// Splits the local graph into `num_parts` balanced parts; returns part ids
+/// in [0, num_parts) indexed by local node id.
+std::vector<uint32_t> PartitionLocalGraph(const LocalGraph& lg, uint32_t num_parts,
+                                          const PartitionOptions& options = {});
+
+/// Quality summary of a k-way partition.
+struct PartitionQuality {
+  uint64_t cut_edges = 0;      // directed internal edges crossing parts
+  size_t largest_part = 0;
+  size_t smallest_part = 0;
+  double balance = 0.0;        // largest / ideal
+};
+
+PartitionQuality EvaluatePartition(const LocalGraph& lg,
+                                   const std::vector<uint32_t>& part,
+                                   uint32_t num_parts);
+
+}  // namespace dppr
+
+#endif  // DPPR_PARTITION_PARTITION_H_

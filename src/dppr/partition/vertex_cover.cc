@@ -1,0 +1,78 @@
+#include "dppr/partition/vertex_cover.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "dppr/common/macros.h"
+
+namespace dppr {
+
+std::vector<NodeId> GreedyVertexCover(size_t num_nodes, const EdgeList& edges) {
+  std::vector<std::vector<uint32_t>> incident(num_nodes);
+  for (uint32_t i = 0; i < edges.size(); ++i) {
+    DPPR_CHECK_LT(edges[i].first, num_nodes);
+    DPPR_CHECK_LT(edges[i].second, num_nodes);
+    incident[edges[i].first].push_back(i);
+    if (edges[i].second != edges[i].first) incident[edges[i].second].push_back(i);
+  }
+  std::vector<uint32_t> degree(num_nodes, 0);
+  using Entry = std::tuple<uint32_t, NodeId>;  // (uncovered degree, node)
+  std::priority_queue<Entry> pq;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    degree[u] = static_cast<uint32_t>(incident[u].size());
+    if (degree[u] > 0) pq.push({degree[u], u});
+  }
+  std::vector<uint8_t> covered(edges.size(), 0);
+  std::vector<uint8_t> in_cover(num_nodes, 0);
+  size_t remaining = edges.size();
+  while (remaining > 0) {
+    DPPR_CHECK(!pq.empty());
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (in_cover[u] || d != degree[u] || degree[u] == 0) continue;  // stale
+    in_cover[u] = 1;
+    for (uint32_t e : incident[u]) {
+      if (covered[e]) continue;
+      covered[e] = 1;
+      --remaining;
+      NodeId other = edges[e].first == u ? edges[e].second : edges[e].first;
+      if (other != u && degree[other] > 0) {
+        --degree[other];
+        pq.push({degree[other], other});
+      }
+    }
+    degree[u] = 0;
+  }
+  std::vector<NodeId> cover;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    if (in_cover[u]) cover.push_back(u);
+  }
+  return cover;
+}
+
+std::vector<NodeId> TwoApproxVertexCover(size_t num_nodes, const EdgeList& edges) {
+  std::vector<uint8_t> in_cover(num_nodes, 0);
+  for (const auto& [u, v] : edges) {
+    DPPR_CHECK_LT(u, num_nodes);
+    DPPR_CHECK_LT(v, num_nodes);
+    if (!in_cover[u] && !in_cover[v]) {
+      in_cover[u] = 1;
+      in_cover[v] = 1;
+    }
+  }
+  std::vector<NodeId> cover;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    if (in_cover[u]) cover.push_back(u);
+  }
+  return cover;
+}
+
+bool IsVertexCover(const EdgeList& edges, const std::vector<uint8_t>& in_cover) {
+  for (const auto& [u, v] : edges) {
+    if (!in_cover[u] && !in_cover[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace dppr

@@ -1,0 +1,27 @@
+#ifndef DPPR_PARTITION_VERTEX_COVER_H_
+#define DPPR_PARTITION_VERTEX_COVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dppr/graph/types.h"
+
+namespace dppr {
+
+/// Vertex covers over an explicit edge list (node ids are arbitrary dense
+/// ids; `num_nodes` bounds them). Used to turn cut edges into hub nodes
+/// (paper Appendix D).
+
+/// Greedy max-degree cover: repeatedly take the endpoint covering the most
+/// uncovered edges. Good in practice for the multi-way cut graphs.
+std::vector<NodeId> GreedyVertexCover(size_t num_nodes, const EdgeList& edges);
+
+/// Classic 2-approximation: take both endpoints of a maximal matching.
+std::vector<NodeId> TwoApproxVertexCover(size_t num_nodes, const EdgeList& edges);
+
+/// True iff every edge has at least one endpoint flagged in `in_cover`.
+bool IsVertexCover(const EdgeList& edges, const std::vector<uint8_t>& in_cover);
+
+}  // namespace dppr
+
+#endif  // DPPR_PARTITION_VERTEX_COVER_H_

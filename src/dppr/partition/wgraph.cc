@@ -1,0 +1,78 @@
+#include "dppr/partition/wgraph.h"
+
+#include <unordered_map>
+
+#include "dppr/common/macros.h"
+
+namespace dppr {
+
+WGraph WGraph::FromLocalGraph(const LocalGraph& lg) {
+  WGraph wg(lg.num_nodes());
+  // Accumulate undirected pair weights; key packs (min, max).
+  std::unordered_map<uint64_t, uint32_t> pair_weight;
+  pair_weight.reserve(lg.num_internal_edges());
+  for (NodeId u = 0; u < lg.num_nodes(); ++u) {
+    for (NodeId v : lg.OutNeighbors(u)) {
+      if (u == v) continue;
+      NodeId lo = std::min(u, v);
+      NodeId hi = std::max(u, v);
+      uint64_t key = (static_cast<uint64_t>(lo) << 32) | hi;
+      ++pair_weight[key];
+    }
+  }
+  for (const auto& [key, weight] : pair_weight) {
+    NodeId lo = static_cast<NodeId>(key >> 32);
+    NodeId hi = static_cast<NodeId>(key & 0xFFFFFFFFu);
+    wg.adj_[lo].push_back({hi, weight});
+    wg.adj_[hi].push_back({lo, weight});
+  }
+  return wg;
+}
+
+void WGraph::set_node_weight(NodeId u, uint32_t w) {
+  DPPR_DCHECK(u < num_nodes());
+  total_node_weight_ += w;
+  total_node_weight_ -= node_weight_[u];
+  node_weight_[u] = w;
+}
+
+void WGraph::AddEdgeWeight(NodeId u, NodeId v, uint32_t weight) {
+  DPPR_DCHECK(u != v);
+  for (auto& nbr : adj_[u]) {
+    if (nbr.to == v) {
+      nbr.weight += weight;
+      for (auto& back : adj_[v]) {
+        if (back.to == u) {
+          back.weight += weight;
+          return;
+        }
+      }
+    }
+  }
+  adj_[u].push_back({v, weight});
+  adj_[v].push_back({u, weight});
+}
+
+uint64_t WGraph::CutWeight(const std::vector<uint8_t>& side) const {
+  DPPR_CHECK_EQ(side.size(), num_nodes());
+  uint64_t cut = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const auto& nbr : adj_[u]) {
+      if (u < nbr.to && side[u] != side[nbr.to]) cut += nbr.weight;
+    }
+  }
+  return cut;
+}
+
+uint64_t WGraph::CutWeightKway(const std::vector<uint32_t>& part) const {
+  DPPR_CHECK_EQ(part.size(), num_nodes());
+  uint64_t cut = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const auto& nbr : adj_[u]) {
+      if (u < nbr.to && part[u] != part[nbr.to]) cut += nbr.weight;
+    }
+  }
+  return cut;
+}
+
+}  // namespace dppr

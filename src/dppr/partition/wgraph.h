@@ -1,0 +1,61 @@
+#ifndef DPPR_PARTITION_WGRAPH_H_
+#define DPPR_PARTITION_WGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dppr/graph/local_graph.h"
+#include "dppr/graph/types.h"
+
+namespace dppr {
+
+/// Weighted undirected multigraph used by the partitioner. Node ids are the
+/// local ids of the LocalGraph (or coarse ids after contraction); node
+/// weights carry the number of original nodes a coarse node represents, edge
+/// weights the number of original directed edges collapsed into the pair.
+class WGraph {
+ public:
+  struct Neighbor {
+    NodeId to;
+    uint32_t weight;
+  };
+
+  WGraph() = default;
+  explicit WGraph(size_t num_nodes)
+      : node_weight_(num_nodes, 1),
+        adj_(num_nodes),
+        total_node_weight_(num_nodes) {}
+
+  /// Symmetrizes the internal edges of `lg` (self-loops dropped; parallel and
+  /// antiparallel directed edges accumulate into one weighted undirected
+  /// edge).
+  static WGraph FromLocalGraph(const LocalGraph& lg);
+
+  size_t num_nodes() const { return adj_.size(); }
+
+  uint64_t total_node_weight() const { return total_node_weight_; }
+
+  uint32_t node_weight(NodeId u) const { return node_weight_[u]; }
+  void set_node_weight(NodeId u, uint32_t w);
+
+  const std::vector<Neighbor>& neighbors(NodeId u) const { return adj_[u]; }
+
+  /// Adds (or accumulates onto an existing) undirected edge {u, v}.
+  /// Callers must not pass u == v.
+  void AddEdgeWeight(NodeId u, NodeId v, uint32_t weight);
+
+  /// Sum of edge weights crossing the given bipartition (side values 0/1).
+  uint64_t CutWeight(const std::vector<uint8_t>& side) const;
+
+  /// Sum of edge weights crossing any pair of parts in a k-way assignment.
+  uint64_t CutWeightKway(const std::vector<uint32_t>& part) const;
+
+ private:
+  std::vector<uint32_t> node_weight_;
+  std::vector<std::vector<Neighbor>> adj_;
+  uint64_t total_node_weight_ = 0;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_PARTITION_WGRAPH_H_

@@ -1,0 +1,45 @@
+#include "dppr/ppr/dense_solver.h"
+
+#include <cmath>
+
+namespace dppr {
+
+std::vector<double> SolveDenseLinearSystem(std::vector<double> a,
+                                           std::vector<double> b) {
+  const size_t n = b.size();
+  DPPR_CHECK_EQ(a.size(), n * n);
+  // Forward elimination with partial pivoting.
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (size_t row = col + 1; row < n; ++row) {
+      double v = std::abs(a[row * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = row;
+      }
+    }
+    DPPR_CHECK_GT(best, 1e-12);  // PPR systems are strictly diagonally dominant
+    if (pivot != col) {
+      for (size_t k = col; k < n; ++k) std::swap(a[pivot * n + k], a[col * n + k]);
+      std::swap(b[pivot], b[col]);
+    }
+    double diag = a[col * n + col];
+    for (size_t row = col + 1; row < n; ++row) {
+      double factor = a[row * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (size_t k = col; k < n; ++k) a[row * n + k] -= factor * a[col * n + k];
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (size_t row = n; row-- > 0;) {
+    double sum = b[row];
+    for (size_t k = row + 1; k < n; ++k) sum -= a[row * n + k] * x[k];
+    x[row] = sum / a[row * n + row];
+  }
+  return x;
+}
+
+}  // namespace dppr

@@ -1,0 +1,46 @@
+#ifndef DPPR_PPR_DENSE_SOLVER_H_
+#define DPPR_PPR_DENSE_SOLVER_H_
+
+#include <vector>
+
+#include "dppr/common/macros.h"
+#include "dppr/graph/types.h"
+#include "dppr/ppr/ppr_options.h"
+
+namespace dppr {
+
+/// Solves a dense linear system A x = b in place (partial-pivot Gaussian
+/// elimination); A is row-major n×n. Test oracle — O(n³).
+std::vector<double> SolveDenseLinearSystem(std::vector<double> a,
+                                           std::vector<double> b);
+
+/// Machine-precision PPV via the linear system (I - (1-α) Pᵀ) r = α x_q
+/// (paper Eq. 1). P follows GraphView semantics: row u spreads 1/denominator
+/// per listed out-edge; missing mass (dangling / virtual-node) is absorbed.
+/// Intended for graphs with at most a few thousand nodes; the exactness test
+/// oracle for every other engine in the library.
+template <typename GraphView>
+std::vector<double> ExactPpvDense(const GraphView& graph, NodeId query,
+                                  const PprOptions& options = {}) {
+  const size_t n = graph.num_nodes();
+  DPPR_CHECK_LT(query, n);
+  DPPR_CHECK_LE(n, size_t{4096});  // O(n^3) oracle; keep inputs small
+  const double alpha = options.alpha;
+
+  // a[row][col]: (I - (1-α) Pᵀ); Pᵀ[v][u] = 1/denom(u) for edge u->v.
+  std::vector<double> a(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) a[i * n + i] = 1.0;
+  for (NodeId u = 0; u < n; ++u) {
+    uint32_t denom = graph.degree_denominator(u);
+    if (denom == 0) continue;
+    double w = (1.0 - alpha) / static_cast<double>(denom);
+    for (NodeId v : graph.OutNeighbors(u)) a[static_cast<size_t>(v) * n + u] -= w;
+  }
+  std::vector<double> b(n, 0.0);
+  b[query] = alpha;
+  return SolveDenseLinearSystem(std::move(a), std::move(b));
+}
+
+}  // namespace dppr
+
+#endif  // DPPR_PPR_DENSE_SOLVER_H_

@@ -1,0 +1,148 @@
+#ifndef DPPR_PPR_FORWARD_PUSH_H_
+#define DPPR_PPR_FORWARD_PUSH_H_
+
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "dppr/common/macros.h"
+#include "dppr/graph/types.h"
+#include "dppr/ppr/ppr_options.h"
+#include "dppr/ppr/sparse_vector.h"
+
+namespace dppr {
+
+/// Result of selective expansion (paper Eq. 9).
+struct ForwardPushResult {
+  /// D after convergence: the α-absorbed reserve. With an empty blocked set
+  /// this is the (local) PPV of the source; with blocked = H \ {source} it is
+  /// the partial vector p^H_source.
+  SparseVector reserve;
+  /// Residual mass parked at blocked nodes (never expanded, per Eq. 9 the
+  /// Σ_{v∈V−H} sums skip them). FastPPV's scheduled approximation consumes
+  /// this as the "hub entry mass".
+  SparseVector residual_at_blocked;
+  size_t pushes = 0;
+  size_t edge_touches = 0;
+};
+
+/// Selective-expansion / forward-push engine over a GraphView. A single
+/// engine instance owns O(n) scratch buffers and may be reused across many
+/// sources (precomputation runs millions of pushes).
+///
+/// Semantics (Jeh–Widom partial vectors): a tour may START and END at a hub
+/// but never visits a hub at an INTERIOR position. In push terms: residual
+/// mass at a non-blocked node v is absorbed into the reserve at rate α and
+/// the rest forwarded to out-neighbors in shares of (1-α)/denominator; mass
+/// arriving at a *blocked* node is absorbed at rate α (tours may end there)
+/// but never forwarded (interior visits are barred). The source is expanded
+/// exactly once even when blocked (the tour start is exempt); mass returning
+/// to a blocked source parks like at any other hub. Mass using an edge that
+/// leaves a LocalGraph vanishes (virtual-node sink). The loop stops when
+/// every expandable residual is at most `tolerance` (the paper's termination
+/// rule E_k[u](v) <= ε).
+///
+/// Note this corrects the paper's Definition 1 as literally written (which
+/// would zero partial vectors at hub coordinates and break Eq. 4 exactness
+/// there); see DESIGN.md "Hub-coordinate semantics".
+template <typename GraphView>
+class ForwardPusher {
+ public:
+  explicit ForwardPusher(const GraphView& graph)
+      : graph_(graph),
+        residual_(graph.num_nodes(), 0.0),
+        reserve_(graph.num_nodes(), 0.0),
+        blocked_(graph.num_nodes(), 0),
+        queued_(graph.num_nodes(), 0) {}
+
+  /// Runs a push from `source`. `blocked` may contain `source`. Entries of
+  /// the returned sparse vectors with values at most `prune_below` are
+  /// dropped (0 keeps everything).
+  ForwardPushResult Run(NodeId source, std::span<const NodeId> blocked,
+                        const PprOptions& options, double prune_below = 0.0) {
+    DPPR_CHECK_LT(source, graph_.num_nodes());
+    const double alpha = options.alpha;
+    const double eps = options.tolerance;
+    DPPR_CHECK(alpha > 0.0 && alpha < 1.0);
+    DPPR_CHECK_GT(eps, 0.0);
+
+    for (NodeId b : blocked) {
+      DPPR_CHECK_LT(b, graph_.num_nodes());
+      blocked_[b] = 1;
+    }
+
+    ForwardPushResult result;
+    touched_.clear();
+    queue_.clear();
+    touched_.push_back(source);
+
+    // Expand the unit mass at the source once, unconditionally (position 0
+    // of a tour is exempt from the hub constraint).
+    reserve_[source] += alpha;
+    ++result.pushes;
+    ExpandFrom(source, 1.0, alpha, eps, result);
+
+    while (!queue_.empty()) {
+      NodeId u = queue_.front();
+      queue_.pop_front();
+      queued_[u] = 0;
+      double r = residual_[u];
+      if (r <= eps) continue;  // value may have been consumed already
+      residual_[u] = 0.0;
+      reserve_[u] += alpha * r;
+      ++result.pushes;
+      ExpandFrom(u, r, alpha, eps, result);
+    }
+
+    // Harvest sparse outputs and reset scratch in O(touched).
+    std::vector<SparseVector::Entry> reserve_entries;
+    std::vector<SparseVector::Entry> parked_entries;
+    for (NodeId v : touched_) {
+      double parked = blocked_[v] ? residual_[v] : 0.0;
+      // Tours ending at a blocked node are valid (endpoint exemption): the
+      // parked arrival mass is absorbed at rate α into the reserve.
+      double value = reserve_[v] + alpha * parked;
+      if (value > prune_below) reserve_entries.push_back({v, value});
+      if (parked > prune_below) parked_entries.push_back({v, parked});
+      reserve_[v] = 0.0;
+      residual_[v] = 0.0;
+    }
+    touched_.clear();
+    for (NodeId b : blocked) blocked_[b] = 0;
+    result.reserve = SparseVector::FromEntries(std::move(reserve_entries));
+    result.residual_at_blocked =
+        SparseVector::FromEntries(std::move(parked_entries));
+    return result;
+  }
+
+ private:
+  // Distributes (1-α)·r from u to its out-neighbors and queues newly
+  // expandable nodes.
+  void ExpandFrom(NodeId u, double r, double alpha, double eps,
+                  ForwardPushResult& result) {
+    uint32_t denom = graph_.degree_denominator(u);
+    if (denom == 0) return;  // dangling: the (1-α) share dies
+    double share = (1.0 - alpha) * r / static_cast<double>(denom);
+    for (NodeId v : graph_.OutNeighbors(u)) {
+      ++result.edge_touches;
+      if (residual_[v] == 0.0 && reserve_[v] == 0.0) touched_.push_back(v);
+      residual_[v] += share;
+      if (!blocked_[v] && !queued_[v] && residual_[v] > eps) {
+        queued_[v] = 1;
+        queue_.push_back(v);
+      }
+    }
+  }
+
+  const GraphView& graph_;
+  std::vector<double> residual_;
+  std::vector<double> reserve_;
+  std::vector<uint8_t> blocked_;
+  std::vector<uint8_t> queued_;
+  std::deque<NodeId> queue_;
+  std::vector<NodeId> touched_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_PPR_FORWARD_PUSH_H_

@@ -1,0 +1,92 @@
+#include "dppr/ppr/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "dppr/common/macros.h"
+
+namespace dppr {
+
+double AverageL1(std::span<const double> a, std::span<const double> b) {
+  DPPR_CHECK_EQ(a.size(), b.size());
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::abs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+double LInfNorm(std::span<const double> a, std::span<const double> b) {
+  DPPR_CHECK_EQ(a.size(), b.size());
+  double max = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) max = std::max(max, std::abs(a[i] - b[i]));
+  return max;
+}
+
+std::vector<NodeId> TopK(std::span<const double> scores, size_t k) {
+  std::vector<NodeId> ids(scores.size());
+  for (NodeId i = 0; i < ids.size(); ++i) ids[i] = i;
+  k = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<ptrdiff_t>(k), ids.end(),
+                    [&](NodeId x, NodeId y) {
+                      if (scores[x] != scores[y]) return scores[x] > scores[y];
+                      return x < y;
+                    });
+  ids.resize(k);
+  return ids;
+}
+
+double PrecisionAtK(std::span<const double> exact, std::span<const double> approx,
+                    size_t k) {
+  if (k == 0) return 1.0;
+  std::vector<NodeId> te = TopK(exact, k);
+  std::vector<NodeId> ta = TopK(approx, k);
+  std::unordered_set<NodeId> exact_set(te.begin(), te.end());
+  size_t hits = 0;
+  for (NodeId v : ta) hits += exact_set.count(v);
+  return static_cast<double>(hits) / static_cast<double>(te.size());
+}
+
+double RagAtK(std::span<const double> exact, std::span<const double> approx,
+              size_t k) {
+  std::vector<NodeId> te = TopK(exact, k);
+  std::vector<NodeId> ta = TopK(approx, k);
+  double best = 0.0;
+  double got = 0.0;
+  for (NodeId v : te) best += exact[v];
+  for (NodeId v : ta) got += exact[v];
+  if (best <= 0.0) return 1.0;
+  return got / best;
+}
+
+double KendallTauAtK(std::span<const double> exact, std::span<const double> approx,
+                     size_t k) {
+  std::vector<NodeId> te = TopK(exact, k);
+  std::vector<NodeId> ta = TopK(approx, k);
+  std::unordered_set<NodeId> union_set(te.begin(), te.end());
+  union_set.insert(ta.begin(), ta.end());
+  std::vector<NodeId> nodes(union_set.begin(), union_set.end());
+  std::sort(nodes.begin(), nodes.end());
+
+  long long concordant = 0;
+  long long discordant = 0;
+  long long comparable = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      double de = exact[nodes[i]] - exact[nodes[j]];
+      double da = approx[nodes[i]] - approx[nodes[j]];
+      if (de == 0.0 || da == 0.0) continue;  // ties excluded (τ-b style)
+      ++comparable;
+      if ((de > 0) == (da > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  if (comparable == 0) return 1.0;
+  return static_cast<double>(concordant - discordant) /
+         static_cast<double>(comparable);
+}
+
+}  // namespace dppr

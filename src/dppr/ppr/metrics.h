@@ -1,0 +1,41 @@
+#ifndef DPPR_PPR_METRICS_H_
+#define DPPR_PPR_METRICS_H_
+
+#include <span>
+#include <vector>
+
+#include "dppr/graph/types.h"
+
+namespace dppr {
+
+/// Accuracy metrics used by the paper's evaluation: average L1 and L∞
+/// (§6.1), and the top-k metrics Precision, RAG and Kendall's τ (§6.2.10,
+/// following refs [11, 49]).
+
+/// Σ_v |a(v) - b(v)| / |V|.
+double AverageL1(std::span<const double> a, std::span<const double> b);
+
+/// max_v |a(v) - b(v)|.
+double LInfNorm(std::span<const double> a, std::span<const double> b);
+
+/// Indices of the k largest scores, descending score order (ties broken by
+/// smaller id first, deterministically).
+std::vector<NodeId> TopK(std::span<const double> scores, size_t k);
+
+/// |top-k(exact) ∩ top-k(approx)| / k.
+double PrecisionAtK(std::span<const double> exact, std::span<const double> approx,
+                    size_t k);
+
+/// Relative Aggregated Goodness: how much exact PPV mass the approximate
+/// top-k captures relative to the best possible top-k.
+double RagAtK(std::span<const double> exact, std::span<const double> approx,
+              size_t k);
+
+/// Kendall's τ-b over the union of both top-k sets, comparing pair orderings
+/// under `exact` vs `approx` (1.0 = identical ranking, -1.0 = reversed).
+double KendallTauAtK(std::span<const double> exact, std::span<const double> approx,
+                     size_t k);
+
+}  // namespace dppr
+
+#endif  // DPPR_PPR_METRICS_H_

@@ -1,0 +1,47 @@
+#include "dppr/ppr/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dppr/common/macros.h"
+#include "dppr/ppr/metrics.h"
+
+namespace dppr {
+
+std::vector<double> GlobalPageRank(const Graph& graph, const PprOptions& options) {
+  const size_t n = graph.num_nodes();
+  if (n == 0) return {};
+  const double alpha = options.alpha;
+  std::vector<double> current(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      uint32_t degree = graph.out_degree(u);
+      if (degree == 0) {
+        dangling_mass += current[u];
+        continue;
+      }
+      double share = (1.0 - alpha) * current[u] / static_cast<double>(degree);
+      for (NodeId v : graph.OutNeighbors(u)) next[v] += share;
+    }
+    double base = (alpha + (1.0 - alpha) * dangling_mass) / static_cast<double>(n);
+    double max_delta = 0.0;
+    for (NodeId v = 0; v < n; ++v) {
+      next[v] += base;
+      max_delta = std::max(max_delta, std::abs(next[v] - current[v]));
+    }
+    current.swap(next);
+    if (max_delta <= options.tolerance) break;
+  }
+  return current;
+}
+
+std::vector<NodeId> TopPageRankNodes(const Graph& graph, size_t k,
+                                     const PprOptions& options) {
+  std::vector<double> scores = GlobalPageRank(graph, options);
+  return TopK(scores, std::min(k, graph.num_nodes()));
+}
+
+}  // namespace dppr

@@ -1,0 +1,23 @@
+#ifndef DPPR_PPR_PAGERANK_H_
+#define DPPR_PPR_PAGERANK_H_
+
+#include <vector>
+
+#include "dppr/graph/graph.h"
+#include "dppr/ppr/ppr_options.h"
+
+namespace dppr {
+
+/// Global (non-personalized) PageRank with uniform teleport, used to pick
+/// "important" hub nodes for the PPV-JW and FastPPV baselines ([25] selects
+/// high-PageRank nodes as hubs). Dangling mass is redistributed uniformly.
+std::vector<double> GlobalPageRank(const Graph& graph,
+                                   const PprOptions& options = {});
+
+/// Ids of the k highest-PageRank nodes (descending; ties by id).
+std::vector<NodeId> TopPageRankNodes(const Graph& graph, size_t k,
+                                     const PprOptions& options = {});
+
+}  // namespace dppr
+
+#endif  // DPPR_PPR_PAGERANK_H_

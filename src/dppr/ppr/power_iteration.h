@@ -1,0 +1,126 @@
+#ifndef DPPR_PPR_POWER_ITERATION_H_
+#define DPPR_PPR_POWER_ITERATION_H_
+
+#include <cmath>
+#include <vector>
+
+#include "dppr/common/macros.h"
+#include "dppr/graph/types.h"
+#include "dppr/ppr/ppr_options.h"
+
+namespace dppr {
+
+/// Dangling-mass policy during power iteration. The paper's Algorithm 2
+/// (Appendix C) redirects dangling mass to the query node; datasets built
+/// with the self-loop policy have no dangling nodes, making the choice moot
+/// there, but both behaviours are kept for fidelity experiments.
+enum class PowerDangling {
+  /// Mass at a zero-denominator node vanishes (virtual-subgraph semantics).
+  kAbsorb,
+  /// Mass returns to the query node (paper Algorithm 2, lines 14–16).
+  kRedirectToQuery,
+};
+
+struct PowerIterationOptions {
+  PprOptions ppr;
+  PowerDangling dangling = PowerDangling::kRedirectToQuery;
+};
+
+struct PowerIterationResult {
+  std::vector<double> ppv;
+  size_t iterations = 0;
+  /// Directed edges traversed across all iterations (work metric).
+  size_t edge_touches = 0;
+};
+
+/// Power-iteration PPV for a single query node (paper Eq. 1 / Algorithm 2):
+///   r_{k+1} = (1-α) Aᵀ r_k + α x_q
+/// over any GraphView (Graph or LocalGraph). Only nodes with non-zero value
+/// and their out-neighbors are visited per iteration, mirroring Algorithm
+/// 2's valuedNodes queue. Terminates when no entry changes by more than the
+/// tolerance.
+template <typename GraphView>
+PowerIterationResult PowerIterationPpv(const GraphView& graph, NodeId query,
+                                       const PowerIterationOptions& options = {}) {
+  const size_t n = graph.num_nodes();
+  DPPR_CHECK_LT(query, n);
+  const double alpha = options.ppr.alpha;
+  DPPR_CHECK(alpha > 0.0 && alpha < 1.0);
+
+  PowerIterationResult result;
+  std::vector<double> current(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  std::vector<NodeId> active;     // nodes with current[u] != 0 (deduped)
+  std::vector<uint8_t> in_active(n, 0);
+  std::vector<NodeId> next_active;
+  std::vector<uint8_t> in_next(n, 0);
+
+  current[query] = 1.0;
+  active.push_back(query);
+  in_active[query] = 1;
+
+  auto touch = [&](NodeId v) {
+    if (!in_next[v]) {
+      in_next[v] = 1;
+      next_active.push_back(v);
+    }
+  };
+
+  for (size_t iter = 0; iter < options.ppr.max_iterations; ++iter) {
+    ++result.iterations;
+    // One application of r -> (1-α) Aᵀ r + α x_q restricted to active nodes.
+    touch(query);
+    next[query] += alpha;  // teleport (Σ current ≤ 1 by construction)
+    for (NodeId u : active) {
+      double value = current[u];
+      if (value == 0.0) continue;
+      uint32_t denom = graph.degree_denominator(u);
+      if (denom == 0) {
+        if (options.dangling == PowerDangling::kRedirectToQuery) {
+          next[query] += (1.0 - alpha) * value;
+        }
+        continue;  // kAbsorb: mass dies
+      }
+      double share = (1.0 - alpha) * value / static_cast<double>(denom);
+      for (NodeId v : graph.OutNeighbors(u)) {
+        next[v] += share;
+        touch(v);
+        ++result.edge_touches;
+      }
+      // LocalGraph: neighbors outside the subgraph are dropped from the
+      // adjacency, so their share simply never lands — virtual-node sink.
+    }
+
+    // Convergence check over the union of supports.
+    double max_delta = 0.0;
+    for (NodeId v : next_active) {
+      max_delta = std::max(max_delta, std::abs(next[v] - current[v]));
+    }
+    for (NodeId v : active) {
+      if (!in_next[v]) max_delta = std::max(max_delta, current[v]);
+    }
+
+    // Swap states: clear old `current`, move next -> current.
+    for (NodeId v : active) {
+      current[v] = 0.0;
+      in_active[v] = 0;
+    }
+    for (NodeId v : next_active) {
+      current[v] = next[v];
+      next[v] = 0.0;
+      in_active[v] = 1;
+      in_next[v] = 0;
+    }
+    active.swap(next_active);
+    next_active.clear();
+
+    if (max_delta <= options.ppr.tolerance) break;
+  }
+
+  result.ppv = std::move(current);
+  return result;
+}
+
+}  // namespace dppr
+
+#endif  // DPPR_PPR_POWER_ITERATION_H_

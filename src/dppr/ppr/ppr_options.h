@@ -1,0 +1,22 @@
+#ifndef DPPR_PPR_PPR_OPTIONS_H_
+#define DPPR_PPR_PPR_OPTIONS_H_
+
+#include <cstddef>
+
+namespace dppr {
+
+/// Shared parameters of all PPR computations. Defaults follow the paper's
+/// experimental setup (§6.1): teleport probability α = 0.15, tolerance
+/// ε = 1e-4. Tolerance is the per-entry residual bound at which iterative
+/// computations stop; the literature ([25], [49]) treats results at a given
+/// tolerance as "exact" since ε can be made arbitrarily small.
+struct PprOptions {
+  double alpha = 0.15;
+  double tolerance = 1e-4;
+  /// Safety valve for iterative methods.
+  size_t max_iterations = 100000;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_PPR_PPR_OPTIONS_H_

@@ -1,0 +1,62 @@
+#include "dppr/ppr/skeleton.h"
+
+#include <deque>
+
+namespace dppr {
+namespace {
+
+// Backward push from the target hub: reserve[u] converges to r_u(hub) with
+// per-entry error <= tolerance (residual invariant
+//   r_u(hub) = reserve[u] + Σ_v residual[v]·r_u(v), Σ_v r_u(v) <= 1).
+template <typename GraphView>
+std::vector<double> ReversePushImpl(const GraphView& graph, NodeId hub,
+                                    const PprOptions& options) {
+  const size_t n = graph.num_nodes();
+  DPPR_CHECK_LT(hub, n);
+  DPPR_CHECK(graph.has_in_edges());
+  const double alpha = options.alpha;
+  const double eps = options.tolerance;
+
+  std::vector<double> reserve(n, 0.0);
+  std::vector<double> residual(n, 0.0);
+  std::vector<uint8_t> queued(n, 0);
+  std::deque<NodeId> queue;
+
+  residual[hub] = 1.0;
+  queue.push_back(hub);
+  queued[hub] = 1;
+
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    queued[u] = 0;
+    double r = residual[u];
+    if (r <= eps) continue;
+    residual[u] = 0.0;
+    reserve[u] += alpha * r;
+    for (NodeId w : graph.InNeighbors(u)) {
+      uint32_t denom = graph.degree_denominator(w);
+      if (denom == 0) continue;
+      residual[w] += (1.0 - alpha) * r / static_cast<double>(denom);
+      if (!queued[w] && residual[w] > eps) {
+        queued[w] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return reserve;
+}
+
+}  // namespace
+
+std::vector<double> SkeletonReversePush(const LocalGraph& graph, NodeId hub,
+                                        const PprOptions& options) {
+  return ReversePushImpl(graph, hub, options);
+}
+
+std::vector<double> SkeletonReversePush(const Graph& graph, NodeId hub,
+                                        const PprOptions& options) {
+  return ReversePushImpl(graph, hub, options);
+}
+
+}  // namespace dppr

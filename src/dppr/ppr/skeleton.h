@@ -1,0 +1,68 @@
+#ifndef DPPR_PPR_SKELETON_H_
+#define DPPR_PPR_SKELETON_H_
+
+#include <cmath>
+#include <vector>
+
+#include "dppr/common/macros.h"
+#include "dppr/graph/graph.h"
+#include "dppr/graph/local_graph.h"
+#include "dppr/ppr/ppr_options.h"
+
+namespace dppr {
+
+/// Hubs-skeleton column computation. For a hub h, the skeleton entry of
+/// every node u is s^H_u(h) = r_u(h) — the PPV value of h as seen from u
+/// (computed against the same (sub)graph). The paper distributes this with
+/// the per-hub fixed point of Eq. 8 (Theorem 6):
+///
+///   F_{k+1}(u) = (1-α) Σ_{v∈Out(u)} F_k(v)/|Out(u)| + α·x_h(u)
+///
+/// which needs only O(|V|) state per hub and no cross-machine dependency.
+
+/// Number of Eq. 8 iterations needed for error (1-α)^k <= tolerance.
+inline size_t SkeletonIterationCount(const PprOptions& options) {
+  double k = std::log(options.tolerance) / std::log1p(-options.alpha);
+  return static_cast<size_t>(std::max(1.0, std::ceil(k)));
+}
+
+/// Runs the Eq. 8 fixed point; returns F indexed by (local) node id:
+/// F[u] = s_u(hub) to within `options.tolerance`.
+template <typename GraphView>
+std::vector<double> SkeletonFixedPoint(const GraphView& graph, NodeId hub,
+                                       const PprOptions& options = {}) {
+  const size_t n = graph.num_nodes();
+  DPPR_CHECK_LT(hub, n);
+  const double alpha = options.alpha;
+  std::vector<double> current(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  size_t rounds = std::min(SkeletonIterationCount(options), options.max_iterations);
+  for (size_t k = 0; k < rounds; ++k) {
+    double max_delta = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      double sum = 0.0;
+      for (NodeId v : graph.OutNeighbors(u)) sum += current[v];
+      uint32_t denom = graph.degree_denominator(u);
+      double value =
+          denom == 0 ? 0.0 : (1.0 - alpha) * sum / static_cast<double>(denom);
+      if (u == hub) value += alpha;
+      next[u] = value;
+      max_delta = std::max(max_delta, std::abs(value - current[u]));
+    }
+    current.swap(next);
+    if (max_delta == 0.0) break;  // exact fixed point reached early
+  }
+  return current;
+}
+
+/// Reverse-push (backward local push) alternative with the same output up to
+/// tolerance — the optimization the ablation bench compares against Eq. 8.
+/// Requires in-adjacency on the view.
+std::vector<double> SkeletonReversePush(const LocalGraph& graph, NodeId hub,
+                                        const PprOptions& options = {});
+std::vector<double> SkeletonReversePush(const Graph& graph, NodeId hub,
+                                        const PprOptions& options = {});
+
+}  // namespace dppr
+
+#endif  // DPPR_PPR_SKELETON_H_

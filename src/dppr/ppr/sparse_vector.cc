@@ -1,0 +1,139 @@
+#include "dppr/ppr/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dppr/common/macros.h"
+
+namespace dppr {
+
+SparseVector SparseVector::FromEntries(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.index < b.index; });
+  SparseVector v;
+  v.entries_.reserve(entries.size());
+  for (const Entry& e : entries) {
+    if (!v.entries_.empty() && v.entries_.back().index == e.index) {
+      v.entries_.back().value += e.value;
+    } else {
+      v.entries_.push_back(e);
+    }
+  }
+  return v;
+}
+
+SparseVector SparseVector::FromDense(std::span<const double> dense,
+                                     double prune_below) {
+  SparseVector v;
+  for (size_t i = 0; i < dense.size(); ++i) {
+    if (std::abs(dense[i]) > prune_below) {
+      v.entries_.push_back({static_cast<NodeId>(i), dense[i]});
+    }
+  }
+  return v;
+}
+
+double SparseVector::ValueAt(NodeId index) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), index,
+      [](const Entry& e, NodeId idx) { return e.index < idx; });
+  if (it != entries_.end() && it->index == index) return it->value;
+  return 0.0;
+}
+
+double SparseVector::L1Norm() const {
+  double sum = 0.0;
+  for (const Entry& e : entries_) sum += std::abs(e.value);
+  return sum;
+}
+
+void SparseVector::AddScaledTo(std::span<double> dense, double scale) const {
+  for (const Entry& e : entries_) {
+    DPPR_DCHECK(e.index < dense.size());
+    dense[e.index] += scale * e.value;
+  }
+}
+
+SparseVector SparseVector::Pruned(double threshold) const {
+  SparseVector v;
+  for (const Entry& e : entries_) {
+    if (std::abs(e.value) > threshold) v.entries_.push_back(e);
+  }
+  return v;
+}
+
+void SparseVector::SerializeTo(ByteWriter& writer) const {
+  writer.PutVarU64(entries_.size());
+  NodeId prev = 0;
+  for (const Entry& e : entries_) {
+    writer.PutVarU64(e.index - prev);
+    writer.PutDouble(e.value);
+    prev = e.index;
+  }
+}
+
+SparseVector SparseVector::Deserialize(ByteReader& reader) {
+  size_t count = reader.GetVarU64();
+  SparseVector v;
+  v.entries_.reserve(count);
+  NodeId prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    prev += static_cast<NodeId>(reader.GetVarU64());
+    double value = reader.GetDouble();
+    v.entries_.push_back({prev, value});
+  }
+  return v;
+}
+
+namespace {
+size_t VarintBytes(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+size_t SparseVector::SerializedBytes() const {
+  size_t total = VarintBytes(entries_.size());
+  NodeId prev = 0;
+  for (const Entry& e : entries_) {
+    total += VarintBytes(e.index - prev) + sizeof(double);
+    prev = e.index;
+  }
+  return total;
+}
+
+void DenseAccumulator::Add(NodeId index, double value) {
+  DPPR_DCHECK(index < values_.size());
+  if (!touched_flag_[index]) {
+    touched_flag_[index] = 1;
+    touched_.push_back(index);
+  }
+  values_[index] += value;
+}
+
+void DenseAccumulator::AddVector(const SparseVector& vec, double scale) {
+  for (const auto& e : vec.entries()) Add(e.index, scale * e.value);
+}
+
+SparseVector DenseAccumulator::ToSparse(double prune_below) const {
+  std::vector<SparseVector::Entry> entries;
+  entries.reserve(touched_.size());
+  for (NodeId i : touched_) {
+    if (std::abs(values_[i]) > prune_below) entries.push_back({i, values_[i]});
+  }
+  return SparseVector::FromEntries(std::move(entries));
+}
+
+void DenseAccumulator::Clear() {
+  for (NodeId i : touched_) {
+    values_[i] = 0.0;
+    touched_flag_[i] = 0;
+  }
+  touched_.clear();
+}
+
+}  // namespace dppr

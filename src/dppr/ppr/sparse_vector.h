@@ -1,0 +1,94 @@
+#ifndef DPPR_PPR_SPARSE_VECTOR_H_
+#define DPPR_PPR_SPARSE_VECTOR_H_
+
+#include <span>
+#include <vector>
+
+#include "dppr/common/serialize.h"
+#include "dppr/graph/types.h"
+
+namespace dppr {
+
+/// Immutable sparse vector of (node, score) entries sorted by node id. The
+/// unit of storage and network transfer throughout the library: precomputed
+/// partial/skeleton vectors and query-time PPV fragments are SparseVectors,
+/// and their SerializedBytes() is what the cluster simulator charges.
+class SparseVector {
+ public:
+  struct Entry {
+    NodeId index;
+    double value;
+    bool operator==(const Entry&) const = default;
+  };
+
+  SparseVector() = default;
+
+  /// From unsorted entries; merges duplicates by summing.
+  static SparseVector FromEntries(std::vector<Entry> entries);
+
+  /// From a dense array, keeping |value| > prune_below.
+  static SparseVector FromDense(std::span<const double> dense,
+                                double prune_below = 0.0);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  std::span<const Entry> entries() const { return entries_; }
+
+  /// Value at `index` (0.0 when absent); binary search.
+  double ValueAt(NodeId index) const;
+
+  double L1Norm() const;
+
+  /// dense[e.index] += scale * e.value for every entry.
+  void AddScaledTo(std::span<double> dense, double scale) const;
+
+  /// Copy with entries |value| <= threshold removed (HGPA_ad storage prune).
+  SparseVector Pruned(double threshold) const;
+
+  /// Wire format: varint count, then delta-varint ids + float64 values.
+  void SerializeTo(ByteWriter& writer) const;
+  static SparseVector Deserialize(ByteReader& reader);
+
+  /// Exact size of SerializeTo's output without materializing it.
+  size_t SerializedBytes() const;
+
+  /// In-memory footprint used for storage accounting.
+  size_t MemoryBytes() const { return entries_.size() * sizeof(Entry); }
+
+  bool operator==(const SparseVector&) const = default;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Reusable dense accumulator for summing many sparse vectors (coordinator
+/// aggregation, per-machine partial sums). Tracks touched indices so Clear()
+/// is O(touched), not O(n).
+class DenseAccumulator {
+ public:
+  explicit DenseAccumulator(size_t size) : values_(size, 0.0), touched_flag_(size, 0) {}
+
+  void Add(NodeId index, double value);
+  void AddVector(const SparseVector& vec, double scale);
+
+  double ValueAt(NodeId index) const { return values_[index]; }
+  size_t size() const { return values_.size(); }
+  std::span<const NodeId> touched() const { return touched_; }
+
+  /// Extracts entries with |value| > prune_below as a sparse vector.
+  SparseVector ToSparse(double prune_below = 0.0) const;
+
+  /// Full dense copy (tests / metrics).
+  std::vector<double> ToDense() const { return values_; }
+
+  void Clear();
+
+ private:
+  std::vector<double> values_;
+  std::vector<uint8_t> touched_flag_;
+  std::vector<NodeId> touched_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_PPR_SPARSE_VECTOR_H_

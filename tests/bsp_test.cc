@@ -1,0 +1,136 @@
+#include "dppr/baseline/bsp_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/graph/datasets.h"
+#include "dppr/graph/generators.h"
+#include "dppr/ppr/metrics.h"
+#include "dppr/ppr/power_iteration.h"
+#include "test_util.h"
+
+namespace dppr {
+namespace {
+
+using ::dppr::testing::RandomDigraph;
+
+PprOptions Tight() {
+  PprOptions ppr;
+  ppr.tolerance = 1e-9;
+  return ppr;
+}
+
+TEST(BspEngine, PlacementCoversAllMachines) {
+  Graph g = RandomDigraph(500, 3.0, 7);
+  for (BspPlacement placement : {BspPlacement::kHash, BspPlacement::kPartition}) {
+    BspOptions options;
+    options.num_machines = 5;
+    options.placement = placement;
+    std::vector<uint32_t> machine_of = BspComputePlacement(g, options);
+    std::vector<size_t> counts(5, 0);
+    for (uint32_t m : machine_of) {
+      ASSERT_LT(m, 5u);
+      ++counts[m];
+    }
+    for (size_t c : counts) EXPECT_GT(c, 0u);
+  }
+}
+
+class BspCorrectnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BspCorrectnessTest, MatchesCentralizedPowerIteration) {
+  uint64_t seed = GetParam();
+  Graph g = RandomDigraph(120, 3.0, seed);
+  PowerIterationOptions pi;
+  pi.ppr = Tight();
+  pi.dangling = PowerDangling::kAbsorb;
+  NodeId q = static_cast<NodeId>(seed % g.num_nodes());
+  std::vector<double> reference = PowerIterationPpv(g, q, pi).ppv;
+
+  for (BspPlacement placement : {BspPlacement::kHash, BspPlacement::kPartition}) {
+    BspOptions options;
+    options.num_machines = 1 + seed % 6;
+    options.placement = placement;
+    BspPpvResult result = BspPowerIterationPpv(g, q, Tight(), options);
+    EXPECT_LT(LInfNorm(result.ppv, reference), 1e-8)
+        << "seed=" << seed << " placement=" << static_cast<int>(placement);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BspCorrectnessTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(BspEngine, SingleMachineSendsNothing) {
+  Graph g = RandomDigraph(100, 3.0, 3);
+  BspOptions options;
+  options.num_machines = 1;
+  BspPpvResult result = BspPowerIterationPpv(g, 5, Tight(), options);
+  EXPECT_EQ(result.network_traffic.bytes, 0u);
+  EXPECT_GT(result.supersteps, 10u);  // geometric convergence needs many steps
+}
+
+TEST(BspEngine, PartitionPlacementBeatsHashOnCommunityGraph) {
+  // The Blogel-vs-Pregel+ gap (Figures 21-22): locality-aware placement
+  // crosses machines only on cut edges.
+  Graph g = CommunityDigraph(3000, 12, 4.0, 0.93, 11);
+  PprOptions ppr;  // default 1e-4
+  BspOptions hash;
+  hash.num_machines = 6;
+  hash.placement = BspPlacement::kHash;
+  BspOptions part = hash;
+  part.placement = BspPlacement::kPartition;
+  BspPpvResult pregel = BspPowerIterationPpv(g, 17, ppr, hash);
+  BspPpvResult blogel = BspPowerIterationPpv(g, 17, ppr, part);
+  EXPECT_LT(blogel.network_traffic.bytes, pregel.network_traffic.bytes / 2);
+}
+
+TEST(BspEngine, TrafficGrowsWithMachines) {
+  Graph g = WebLike(0.05);
+  PprOptions ppr;
+  size_t previous = 0;
+  for (size_t machines : {2u, 6u, 10u}) {
+    BspOptions options;
+    options.num_machines = machines;
+    options.placement = BspPlacement::kHash;
+    BspPpvResult result = BspPowerIterationPpv(g, 3, ppr, options);
+    EXPECT_GT(result.network_traffic.bytes, previous);
+    previous = result.network_traffic.bytes;
+  }
+}
+
+TEST(BspEngine, SenderSideCombiningReducesMessages) {
+  Graph g = RandomDigraph(400, 6.0, 21);
+  PprOptions ppr;
+  BspOptions combined;
+  combined.num_machines = 4;
+  combined.combining = BspCombining::kSenderSide;
+  BspOptions raw = combined;
+  raw.combining = BspCombining::kNone;
+  BspPpvResult with_combiner = BspPowerIterationPpv(g, 9, ppr, combined);
+  BspPpvResult without = BspPowerIterationPpv(g, 9, ppr, raw);
+  EXPECT_LE(with_combiner.network_traffic.messages,
+            without.network_traffic.messages);
+  EXPECT_LT(LInfNorm(with_combiner.ppv, without.ppv), 1e-12);
+}
+
+TEST(BspEngine, PlacementOverrideIsHonored) {
+  Graph g = RandomDigraph(50, 3.0, 2);
+  std::vector<uint32_t> everything_on_zero(g.num_nodes(), 0);
+  BspOptions options;
+  options.num_machines = 4;
+  options.placement_override = &everything_on_zero;
+  BspPpvResult result = BspPowerIterationPpv(g, 1, Tight(), options);
+  EXPECT_EQ(result.network_traffic.bytes, 0u);  // nothing crosses machines
+}
+
+TEST(BspEngine, SimulatedTimeIncludesBarrierCosts) {
+  Graph g = RandomDigraph(150, 3.0, 6);
+  BspOptions options;
+  options.num_machines = 4;
+  options.superstep_overhead_seconds = 0.01;
+  BspPpvResult result = BspPowerIterationPpv(g, 0, PprOptions{}, options);
+  EXPECT_GE(result.simulated_seconds,
+            0.01 * static_cast<double>(result.supersteps));
+}
+
+}  // namespace
+}  // namespace dppr

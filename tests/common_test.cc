@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "dppr/common/env.h"
+#include "dppr/common/rng.h"
+#include "dppr/common/serialize.h"
+#include "dppr/common/status.h"
+#include "dppr/common/thread_pool.h"
+#include "dppr/common/timer.h"
+
+namespace dppr {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing file");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing file");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(Status::IoError("disk on fire"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kIoError);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformIsRoughlyBalanced) {
+  Rng rng(11);
+  std::vector<int> buckets(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.Uniform(10)];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, ForkGivesIndependentStream) {
+  Rng base(5);
+  Rng fork = base.Fork(1);
+  std::set<uint64_t> values;
+  for (int i = 0; i < 32; ++i) {
+    values.insert(base.Next());
+    values.insert(fork.Next());
+  }
+  EXPECT_EQ(values.size(), 64u);
+}
+
+TEST(Serialize, PrimitivesRoundTrip) {
+  ByteWriter writer;
+  writer.PutU8(7);
+  writer.PutU32(0xDEADBEEF);
+  writer.PutU64(0x0123456789ABCDEFULL);
+  writer.PutDouble(3.14159);
+  writer.PutString("hello world");
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(reader.GetU8(), 7);
+  EXPECT_EQ(reader.GetU32(), 0xDEADBEEF);
+  EXPECT_EQ(reader.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(reader.GetDouble(), 3.14159);
+  EXPECT_EQ(reader.GetString(), "hello world");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(Serialize, VarintRoundTripsBoundaries) {
+  ByteWriter writer;
+  std::vector<uint64_t> values = {0,    1,    127,        128,
+                                  255,  300,  0xFFFF,     0x10000,
+                                  1ull << 32, 1ull << 62, ~0ull};
+  for (uint64_t v : values) writer.PutVarU64(v);
+  ByteReader reader(writer.bytes());
+  for (uint64_t v : values) EXPECT_EQ(reader.GetVarU64(), v);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(Serialize, VarintIsCompactForSmallValues) {
+  ByteWriter writer;
+  writer.PutVarU64(5);
+  EXPECT_EQ(writer.size(), 1u);
+  writer.PutVarU64(300);
+  EXPECT_EQ(writer.size(), 3u);
+}
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer timer;
+  double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(timer.ElapsedSeconds(), first);
+}
+
+TEST(StopWatch, AccumulatesIntervals) {
+  StopWatch watch;
+  watch.Add(1.5);
+  watch.Add(0.5);
+  EXPECT_DOUBLE_EQ(watch.TotalSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(watch.TotalMillis(), 2000.0);
+  watch.Reset();
+  EXPECT_DOUBLE_EQ(watch.TotalSeconds(), 0.0);
+}
+
+TEST(Env, FallbackWhenUnset) {
+  EXPECT_DOUBLE_EQ(GetEnvDouble("DPPR_DEFINITELY_UNSET_VAR", 2.5), 2.5);
+  EXPECT_EQ(GetEnvInt("DPPR_DEFINITELY_UNSET_VAR", 7), 7);
+}
+
+TEST(Env, ParsesSetValues) {
+  setenv("DPPR_TEST_ENV_VAR", "3.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("DPPR_TEST_ENV_VAR", 1.0), 3.5);
+  setenv("DPPR_TEST_ENV_VAR", "garbage", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("DPPR_TEST_ENV_VAR", 1.0), 1.0);
+  unsetenv("DPPR_TEST_ENV_VAR");
+}
+
+}  // namespace
+}  // namespace dppr

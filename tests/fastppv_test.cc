@@ -1,0 +1,96 @@
+#include "dppr/baseline/fastppv.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/graph/datasets.h"
+#include "dppr/ppr/dense_solver.h"
+#include "dppr/ppr/metrics.h"
+#include "test_util.h"
+
+namespace dppr {
+namespace {
+
+using ::dppr::testing::RandomDigraph;
+
+TEST(FastPpv, ConvergesToExactWithEnoughRounds) {
+  Graph g = RandomDigraph(60, 3.0, 4);
+  FastPpvOptions options;
+  options.ppr.tolerance = 1e-10;
+  options.num_hubs = 8;
+  options.max_rounds = 200;
+  options.min_round_mass = 1e-12;
+  FastPpvIndex index = FastPpvIndex::Build(g, options);
+  for (NodeId q : {NodeId{0}, NodeId{30}, NodeId{59}}) {
+    FastPpvIndex::QueryStats stats;
+    std::vector<double> got = index.Query(q, &stats);
+    std::vector<double> oracle = ExactPpvDense(g, q, options.ppr);
+    EXPECT_LT(LInfNorm(got, oracle), 1e-6) << "q=" << q;
+    EXPECT_LT(stats.remaining_mass, 1e-10);
+  }
+}
+
+TEST(FastPpv, HubQueriesWork) {
+  Graph g = RandomDigraph(80, 3.0, 9);
+  FastPpvOptions options;
+  options.ppr.tolerance = 1e-10;
+  options.num_hubs = 6;
+  options.max_rounds = 300;
+  options.min_round_mass = 1e-12;
+  FastPpvIndex index = FastPpvIndex::Build(g, options);
+  NodeId hub = index.hubs().front();
+  std::vector<double> got = index.Query(hub);
+  std::vector<double> oracle = ExactPpvDense(g, hub, options.ppr);
+  EXPECT_LT(LInfNorm(got, oracle), 1e-6);
+}
+
+TEST(FastPpv, ErrorShrinksWithMoreRounds) {
+  Graph g = RandomDigraph(150, 3.0, 7);
+  std::vector<double> errors;
+  for (size_t rounds : {0u, 1u, 3u, 30u}) {
+    FastPpvOptions options;
+    options.ppr.tolerance = 1e-9;
+    options.num_hubs = 12;
+    options.max_rounds = rounds;
+    options.min_round_mass = 0.0;
+    FastPpvIndex index = FastPpvIndex::Build(g, options);
+    std::vector<double> got = index.Query(33);
+    std::vector<double> oracle = ExactPpvDense(g, 33, options.ppr);
+    errors.push_back(LInfNorm(got, oracle));
+  }
+  EXPECT_GE(errors[0], errors[1]);
+  EXPECT_GE(errors[1], errors[2]);
+  EXPECT_GT(errors[0], errors[3] * 2);  // truncation error really decays
+}
+
+TEST(FastPpv, RemainingMassBoundsTheError) {
+  Graph g = RandomDigraph(120, 3.0, 13);
+  FastPpvOptions options;
+  options.ppr.tolerance = 1e-9;
+  options.num_hubs = 10;
+  options.max_rounds = 2;
+  options.min_round_mass = 0.0;
+  FastPpvIndex index = FastPpvIndex::Build(g, options);
+  FastPpvIndex::QueryStats stats;
+  std::vector<double> got = index.Query(5, &stats);
+  std::vector<double> oracle = ExactPpvDense(g, 5, options.ppr);
+  // Unexpanded mass m contributes at most m to any coordinate.
+  EXPECT_LE(LInfNorm(got, oracle), stats.remaining_mass + 1e-6);
+}
+
+TEST(FastPpv, MoreHubsCutQueryWorkOnSkewedGraphs) {
+  // The Fast-100 vs Fast-1000 trade-off: more hubs block the base push
+  // earlier, shifting work into precomputed vectors.
+  Graph g = WebLike(0.05);
+  FastPpvOptions few;
+  few.num_hubs = 10;
+  FastPpvOptions many = few;
+  many.num_hubs = 200;
+  FastPpvIndex small = FastPpvIndex::Build(g, few);
+  FastPpvIndex large = FastPpvIndex::Build(g, many);
+  EXPECT_GT(large.TotalBytes(), small.TotalBytes());
+  EXPECT_EQ(small.hubs().size(), 10u);
+  EXPECT_EQ(large.hubs().size(), 200u);
+}
+
+}  // namespace
+}  // namespace dppr

@@ -1,0 +1,161 @@
+#include "dppr/ppr/forward_push.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/graph/graph_builder.h"
+#include "dppr/graph/local_graph.h"
+#include "dppr/ppr/dense_solver.h"
+#include "test_util.h"
+
+namespace dppr {
+namespace {
+
+using ::dppr::testing::BlockedView;
+using ::dppr::testing::RandomDigraph;
+
+PprOptions Tight() {
+  PprOptions options;
+  options.tolerance = 1e-11;
+  return options;
+}
+
+TEST(ForwardPush, UnblockedPushIsLocalPpv) {
+  Graph g = RandomDigraph(40, 3.0, 42);
+  LocalGraph lg = LocalGraph::Whole(g);
+  ForwardPusher<LocalGraph> pusher(lg);
+  ForwardPushResult result = pusher.Run(7, {}, Tight());
+
+  std::vector<double> oracle = ExactPpvDense(lg, 7, Tight());
+  for (NodeId v = 0; v < lg.num_nodes(); ++v) {
+    EXPECT_NEAR(result.reserve.ValueAt(v), oracle[v], 1e-7) << "node " << v;
+  }
+  EXPECT_TRUE(result.residual_at_blocked.empty());
+}
+
+TEST(ForwardPush, SourceReserveIncludesTeleportMass) {
+  Graph g = RandomDigraph(30, 2.5, 9);
+  LocalGraph lg = LocalGraph::Whole(g);
+  ForwardPusher<LocalGraph> pusher(lg);
+  ForwardPushResult result = pusher.Run(0, {}, Tight());
+  // The trivial zero-length tour contributes α.
+  EXPECT_GE(result.reserve.ValueAt(0), 0.15 - 1e-9);
+}
+
+TEST(ForwardPush, BlockedSourceIsExpandedOnce) {
+  // The tour start is exempt: blocking the source must not change anything
+  // on a graph with no cycles back to it.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 2);
+  Graph g = builder.Build();
+  LocalGraph lg = LocalGraph::Whole(g);
+  ForwardPusher<LocalGraph> pusher(lg);
+  std::vector<NodeId> blocked{0};
+  ForwardPushResult with_source_blocked = pusher.Run(0, blocked, Tight());
+  ForwardPushResult unblocked = pusher.Run(0, {}, Tight());
+  EXPECT_EQ(with_source_blocked.reserve, unblocked.reserve);
+}
+
+TEST(ForwardPush, BlockedSourceReturningMassParks) {
+  // 2-cycle with the source blocked: the closed form of p^H_b for H = {b} is
+  // α(1+β²) at b and αβ at a (walks may end at b but not pass through it).
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  Graph g = builder.Build();
+  LocalGraph lg = LocalGraph::Whole(g);
+  ForwardPusher<LocalGraph> pusher(lg);
+  std::vector<NodeId> blocked{0};
+  ForwardPushResult push = pusher.Run(0, blocked, Tight());
+  double alpha = 0.15;
+  double beta = 1.0 - alpha;
+  EXPECT_NEAR(push.reserve.ValueAt(0), alpha * (1.0 + beta * beta), 1e-9);
+  EXPECT_NEAR(push.reserve.ValueAt(1), alpha * beta, 1e-9);
+  EXPECT_NEAR(push.residual_at_blocked.ValueAt(0), beta * beta, 1e-9);
+}
+
+TEST(ForwardPush, ReusedEngineGivesIdenticalResults) {
+  Graph g = RandomDigraph(50, 3.0, 4);
+  LocalGraph lg = LocalGraph::Whole(g);
+  ForwardPusher<LocalGraph> pusher(lg);
+  std::vector<NodeId> blocked{3, 11, 29};
+  ForwardPushResult first = pusher.Run(5, blocked, Tight());
+  ForwardPushResult again = pusher.Run(5, blocked, Tight());
+  EXPECT_EQ(first.reserve, again.reserve);
+  EXPECT_EQ(first.residual_at_blocked, again.residual_at_blocked);
+
+  // Scratch state fully resets: an unrelated run in between must not leak.
+  pusher.Run(9, {}, Tight());
+  ForwardPushResult third = pusher.Run(5, blocked, Tight());
+  EXPECT_EQ(first.reserve, third.reserve);
+}
+
+TEST(ForwardPush, PruneDropsSmallEntries) {
+  Graph g = RandomDigraph(60, 3.0, 17);
+  LocalGraph lg = LocalGraph::Whole(g);
+  ForwardPusher<LocalGraph> pusher(lg);
+  ForwardPushResult full = pusher.Run(2, {}, Tight(), /*prune_below=*/0.0);
+  ForwardPushResult pruned = pusher.Run(2, {}, Tight(), /*prune_below=*/1e-3);
+  EXPECT_LT(pruned.reserve.size(), full.reserve.size());
+  for (const auto& e : pruned.reserve.entries()) {
+    EXPECT_GT(e.value, 1e-3);
+  }
+}
+
+class ForwardPushPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ForwardPushPropertyTest, PartialVectorMatchesBlockedOracle) {
+  uint64_t seed = GetParam();
+  Graph g = RandomDigraph(50, 3.0, seed);
+  LocalGraph lg = LocalGraph::Whole(g);
+  // Arbitrary "hub" set; the push result (Eq. 9) must match the dense PPV of
+  // the graph where hub out-edges are hidden (tours die at hubs), with the
+  // reserve zero at blocked nodes and the arrival mass parked instead.
+  std::vector<NodeId> hubs{1, 8, 21, 33};
+  NodeId source = 5;
+  ForwardPusher<LocalGraph> pusher(lg);
+  ForwardPushResult push = pusher.Run(source, hubs, Tight());
+
+  BlockedView blocked_view(lg, hubs);
+  std::vector<double> oracle = ExactPpvDense(blocked_view, source, Tight());
+
+  double alpha = 0.15;
+  for (NodeId v = 0; v < lg.num_nodes(); ++v) {
+    // Tours may END at a hub (endpoint exemption), so the partial vector
+    // matches the hub-absorbing oracle at every coordinate, hubs included.
+    EXPECT_NEAR(push.reserve.ValueAt(v), oracle[v], 1e-7)
+        << "node " << v << " seed=" << seed;
+    bool is_hub = std::find(hubs.begin(), hubs.end(), v) != hubs.end();
+    if (is_hub) {
+      // Hub arrival mass is reported separately: reserve(h) = α·parked(h).
+      EXPECT_NEAR(alpha * push.residual_at_blocked.ValueAt(v),
+                  push.reserve.ValueAt(v), 1e-12)
+          << "hub " << v << " seed=" << seed;
+    }
+  }
+}
+
+TEST_P(ForwardPushPropertyTest, MassConservation) {
+  uint64_t seed = GetParam();
+  Graph g = RandomDigraph(70, 3.0, seed);  // self-loops: no dangling loss
+  LocalGraph lg = LocalGraph::Whole(g);
+  std::vector<NodeId> hubs{0, 13, 27, 45, 66};
+  ForwardPusher<LocalGraph> pusher(lg);
+  ForwardPushResult push = pusher.Run(30, hubs, Tight());
+  // The reserve is a (sub-)probability vector: at most the full unit of walk
+  // mass gets absorbed, and parked arrival mass never exceeds what entered.
+  double absorbed = push.reserve.L1Norm();
+  double parked = push.residual_at_blocked.L1Norm();
+  EXPECT_LE(absorbed, 1.0 + 1e-9);
+  EXPECT_LE(parked, 1.0 + 1e-9);
+  EXPECT_GT(absorbed, 0.15 - 1e-9);  // at least the trivial tour
+  // Everything absorbed beyond the trivial tour flowed through (1-α) decay.
+  EXPECT_LE(absorbed - 0.15, (1.0 - 0.15) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForwardPushPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace dppr

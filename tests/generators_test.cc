@@ -1,0 +1,126 @@
+#include "dppr/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/graph/datasets.h"
+#include "dppr/graph/graph_stats.h"
+
+namespace dppr {
+namespace {
+
+TEST(Generators, ErdosRenyiHasRequestedShape) {
+  Graph g = ErdosRenyi(500, 2000, 7);
+  EXPECT_EQ(g.num_nodes(), 500u);
+  // Dedupe may remove a few collisions.
+  EXPECT_GT(g.num_edges(), 1900u);
+  EXPECT_LE(g.num_edges(), 2000u);
+}
+
+TEST(Generators, Deterministic) {
+  Graph a = ErdosRenyi(200, 800, 42);
+  Graph b = ErdosRenyi(200, 800, 42);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    auto na = a.OutNeighbors(u);
+    auto nb = b.OutNeighbors(u);
+    ASSERT_EQ(std::vector<NodeId>(na.begin(), na.end()),
+              std::vector<NodeId>(nb.begin(), nb.end()));
+  }
+}
+
+TEST(Generators, DifferentSeedsGiveDifferentGraphs) {
+  Graph a = ErdosRenyi(200, 800, 1);
+  Graph b = ErdosRenyi(200, 800, 2);
+  bool differs = a.num_edges() != b.num_edges();
+  for (NodeId u = 0; !differs && u < a.num_nodes(); ++u) {
+    auto na = a.OutNeighbors(u);
+    auto nb = b.OutNeighbors(u);
+    differs = !std::equal(na.begin(), na.end(), nb.begin(), nb.end());
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generators, PreferentialAttachmentIsSkewed) {
+  Graph g = PreferentialAttachment(2000, 2, 5);
+  GraphStats stats = ComputeGraphStats(g);
+  // Heavy-tailed in-degree: the max should dwarf the average.
+  EXPECT_GT(stats.max_in_degree, 20u);
+  EXPECT_LT(stats.avg_out_degree, 3.0);
+}
+
+TEST(Generators, RmatRespectsScale) {
+  Graph g = Rmat(10, 4000, 11);
+  EXPECT_EQ(g.num_nodes(), 1024u);
+  EXPECT_GT(g.num_edges(), 2000u);  // dedupe shrinks skewed edge lists
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_GT(stats.max_out_degree, 10u);  // hubs exist
+}
+
+TEST(Generators, CommunityDigraphKeepsEdgesMostlyInternal) {
+  size_t n = 2000;
+  size_t communities = 20;
+  Graph g = CommunityDigraph(n, communities, 4.0, 0.9, 3);
+  size_t internal = 0;
+  size_t total = 0;
+  auto community_of = [&](NodeId u) { return (uint64_t{u} * communities) / n; };
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      ++total;
+      if (community_of(u) == community_of(v)) ++internal;
+    }
+  }
+  EXPECT_GT(static_cast<double>(internal) / static_cast<double>(total), 0.8);
+}
+
+TEST(Generators, CoAttendanceGraphIsSymmetricish) {
+  Graph g = CoAttendanceGraph(500, 150, 8, 12, 9);
+  size_t reciprocal = 0;
+  size_t total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (u == v) continue;
+      ++total;
+      if (g.HasEdge(v, u)) ++reciprocal;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  // Pairs are added in both directions.
+  EXPECT_EQ(reciprocal, total);
+}
+
+TEST(Datasets, AllNamedDatasetsBuildAndHaveNoDangling) {
+  for (const std::string& name : DatasetNames()) {
+    double scale = name == "pld_full" ? 0.02 : 0.05;  // keep the test fast
+    Graph g = DatasetByName(name, scale);
+    EXPECT_GT(g.num_nodes(), 0u) << name;
+    EXPECT_GT(g.num_edges(), 0u) << name;
+    EXPECT_EQ(g.CountDanglingNodes(), 0u) << name;
+    EXPECT_TRUE(g.has_in_edges()) << name;
+  }
+}
+
+TEST(Datasets, MeetupSeriesGrowsLinearly) {
+  std::vector<size_t> nodes;
+  for (int i = 1; i <= 5; ++i) nodes.push_back(MeetupLike(i, 0.1).num_nodes());
+  for (size_t i = 1; i < nodes.size(); ++i) EXPECT_GT(nodes[i], nodes[i - 1]);
+}
+
+TEST(Datasets, PaperToyGraphsMatchTheFigures) {
+  Graph fig3 = PaperFigure3Graph();
+  EXPECT_EQ(fig3.num_nodes(), 6u);
+  EXPECT_TRUE(fig3.HasEdge(0, 1));  // u1 -> u2
+  EXPECT_TRUE(fig3.HasEdge(1, 4));  // u2 -> u5
+
+  Graph fig2 = PaperFigure2Graph();
+  EXPECT_EQ(fig2.num_nodes(), 5u);
+  EXPECT_TRUE(fig2.HasEdge(0, 3));  // u1 -> u4 crosses the partition
+}
+
+TEST(Datasets, ScaleParameterControlsSize) {
+  Graph small = EmailLike(0.05);
+  Graph large = EmailLike(0.2);
+  EXPECT_LT(small.num_nodes(), large.num_nodes());
+}
+
+}  // namespace
+}  // namespace dppr

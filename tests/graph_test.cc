@@ -1,0 +1,152 @@
+#include "dppr/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/graph/graph_builder.h"
+#include "dppr/graph/graph_stats.h"
+#include "test_util.h"
+
+namespace dppr {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder builder(0);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilder, BasicCsrLayout) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(2, 3);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  EXPECT_EQ(g.out_degree(2), 1u);
+  auto nbrs = g.OutNeighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(nbrs.begin(), nbrs.end()),
+            (std::vector<NodeId>{1, 2}));
+}
+
+TEST(GraphBuilder, AdjacencyIsSorted) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 3);
+  Graph g = builder.Build();
+  auto nbrs = g.OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphBuilder, DedupesParallelEdges) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  Graph deduped = builder.Build();
+  EXPECT_EQ(deduped.num_edges(), 1u);
+
+  GraphBuildOptions keep;
+  keep.dedupe_parallel_edges = false;
+  Graph kept = builder.Build(keep);
+  EXPECT_EQ(kept.num_edges(), 3u);
+  EXPECT_EQ(kept.out_degree(0), 3u);
+}
+
+TEST(GraphBuilder, RemovesSelfLoopsWhenAsked) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  GraphBuildOptions options;
+  options.remove_self_loops = true;
+  Graph g = builder.Build(options);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilder, SelfLoopPolicyFixesDangling) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);  // 1 and 2 dangling
+  GraphBuildOptions options;
+  options.dangling = DanglingPolicy::kSelfLoop;
+  Graph g = builder.Build(options);
+  EXPECT_EQ(g.CountDanglingNodes(), 0u);
+  EXPECT_TRUE(g.HasEdge(1, 1));
+  EXPECT_TRUE(g.HasEdge(2, 2));
+  EXPECT_FALSE(g.HasEdge(0, 0));  // non-dangling untouched
+}
+
+TEST(GraphBuilder, InEdgesMirrorOutEdges) {
+  Graph g = testing::RandomDigraph(50, 3.0, 99);
+  ASSERT_TRUE(g.has_in_edges());
+  size_t out_total = 0;
+  size_t in_total = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    out_total += g.out_degree(u);
+    in_total += g.in_degree(u);
+    for (NodeId v : g.OutNeighbors(u)) {
+      auto ins = g.InNeighbors(v);
+      EXPECT_TRUE(std::binary_search(ins.begin(), ins.end(), u))
+          << "edge " << u << "->" << v << " missing from in-adjacency";
+    }
+  }
+  EXPECT_EQ(out_total, in_total);
+  EXPECT_EQ(out_total, g.num_edges());
+}
+
+TEST(Graph, HasEdgeBinarySearch) {
+  GraphBuilder builder(10);
+  builder.AddEdge(3, 1);
+  builder.AddEdge(3, 5);
+  builder.AddEdge(3, 9);
+  Graph g = builder.Build();
+  EXPECT_TRUE(g.HasEdge(3, 5));
+  EXPECT_FALSE(g.HasEdge(3, 4));
+  EXPECT_FALSE(g.HasEdge(5, 3));
+}
+
+TEST(Graph, MemoryBytesGrowsWithEdges) {
+  Graph small = testing::RandomDigraph(100, 2.0, 1);
+  Graph large = testing::RandomDigraph(100, 8.0, 1);
+  EXPECT_LT(small.MemoryBytes(), large.MemoryBytes());
+}
+
+TEST(GraphStats, CountsComponentsAndDegrees) {
+  // Two disjoint 2-cycles plus one isolated self-loop node.
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 2);
+  builder.AddEdge(4, 4);
+  Graph g = builder.Build();
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.num_nodes, 5u);
+  EXPECT_EQ(stats.num_edges, 5u);
+  EXPECT_EQ(stats.num_weak_components, 3u);
+  EXPECT_EQ(stats.largest_weak_component, 2u);
+  EXPECT_EQ(stats.num_self_loops, 1u);
+  EXPECT_EQ(stats.num_dangling, 0u);
+  EXPECT_EQ(stats.max_out_degree, 1u);
+}
+
+TEST(GraphStats, DegreeHistogramBucketsCorrectly) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(0, 3);
+  builder.AddEdge(1, 0);
+  Graph g = builder.Build();
+  std::vector<size_t> hist = OutDegreeHistogram(g, 2);
+  // degree 0: nodes 2,3; degree 1: node 1; degree >= 2 (capped): node 0.
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+}  // namespace
+}  // namespace dppr

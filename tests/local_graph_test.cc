@@ -1,0 +1,104 @@
+#include "dppr/graph/local_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/graph/graph_builder.h"
+#include "test_util.h"
+
+namespace dppr {
+namespace {
+
+Graph Path4() {
+  // 0 -> 1 -> 2 -> 3, 3 -> 3.
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(3, 3);
+  return builder.Build();
+}
+
+TEST(LocalGraph, KeepsOriginalDegreeDenominators) {
+  Graph g = Path4();
+  std::vector<NodeId> subset{0, 1};
+  LocalGraph lg = LocalGraph::Induce(g, subset);
+  ASSERT_EQ(lg.num_nodes(), 2u);
+  // Node 1 keeps denominator 1 although its only edge (1->2) left the
+  // subgraph — the virtual-node semantics of Definition 3.
+  EXPECT_EQ(lg.degree_denominator(lg.ToLocal(1)), 1u);
+  EXPECT_TRUE(lg.OutNeighbors(lg.ToLocal(1)).empty());
+  EXPECT_EQ(lg.num_internal_edges(), 1u);  // only 0 -> 1 kept
+}
+
+TEST(LocalGraph, MapsIdsBothWays) {
+  Graph g = Path4();
+  std::vector<NodeId> subset{2, 0};  // order defines local ids
+  LocalGraph lg = LocalGraph::Induce(g, subset);
+  EXPECT_EQ(lg.ToGlobal(0), 2u);
+  EXPECT_EQ(lg.ToGlobal(1), 0u);
+  EXPECT_EQ(lg.ToLocal(2), 0u);
+  EXPECT_EQ(lg.ToLocal(0), 1u);
+  EXPECT_EQ(lg.ToLocal(3), kInvalidNode);
+}
+
+TEST(LocalGraph, WholeGraphIsIdentity) {
+  Graph g = testing::RandomDigraph(30, 2.0, 5);
+  LocalGraph lg = LocalGraph::Whole(g);
+  EXPECT_EQ(lg.num_nodes(), g.num_nodes());
+  EXPECT_EQ(lg.num_internal_edges(), g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_EQ(lg.ToLocal(u), u);
+    EXPECT_EQ(lg.ToGlobal(u), u);
+    EXPECT_EQ(lg.degree_denominator(u), g.out_degree(u));
+  }
+  EXPECT_EQ(lg.ToLocal(static_cast<NodeId>(g.num_nodes())), kInvalidNode);
+}
+
+TEST(LocalGraph, InternalEdgesMatchInducedSubgraph) {
+  Graph g = testing::RandomDigraph(60, 3.0, 11);
+  std::vector<NodeId> subset;
+  for (NodeId u = 0; u < 60; u += 2) subset.push_back(u);  // even nodes
+  LocalGraph lg = LocalGraph::Induce(g, subset);
+  size_t expected = 0;
+  for (NodeId u : subset) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (v % 2 == 0) ++expected;
+    }
+  }
+  EXPECT_EQ(lg.num_internal_edges(), expected);
+}
+
+TEST(LocalGraph, InEdgesAreConsistent) {
+  Graph g = testing::RandomDigraph(40, 3.0, 13);
+  std::vector<NodeId> subset;
+  for (NodeId u = 0; u < 25; ++u) subset.push_back(u);
+  LocalGraph lg = LocalGraph::Induce(g, subset, /*build_in_edges=*/true);
+  ASSERT_TRUE(lg.has_in_edges());
+  size_t in_total = 0;
+  for (NodeId u = 0; u < lg.num_nodes(); ++u) {
+    in_total += lg.InNeighbors(u).size();
+    for (NodeId v : lg.OutNeighbors(u)) {
+      auto ins = lg.InNeighbors(v);
+      EXPECT_NE(std::find(ins.begin(), ins.end(), u), ins.end());
+    }
+  }
+  EXPECT_EQ(in_total, lg.num_internal_edges());
+}
+
+TEST(LocalGraph, EmptySubset) {
+  Graph g = Path4();
+  LocalGraph lg = LocalGraph::Induce(g, {});
+  EXPECT_EQ(lg.num_nodes(), 0u);
+  EXPECT_EQ(lg.num_internal_edges(), 0u);
+}
+
+TEST(LocalGraph, SelfLoopsStayInternal) {
+  Graph g = Path4();
+  std::vector<NodeId> subset{3};
+  LocalGraph lg = LocalGraph::Induce(g, subset);
+  EXPECT_EQ(lg.num_internal_edges(), 1u);
+  EXPECT_EQ(lg.OutNeighbors(0)[0], 0u);
+}
+
+}  // namespace
+}  // namespace dppr

@@ -1,0 +1,126 @@
+#include "dppr/partition/matching.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/common/rng.h"
+#include "dppr/partition/vertex_cover.h"
+
+namespace dppr {
+namespace {
+
+// Exhaustive maximum matching for tiny bipartite graphs (oracle).
+size_t BruteForceMatching(size_t num_left, size_t num_right,
+                          const EdgeList& edges) {
+  size_t best = 0;
+  size_t m = edges.size();
+  for (uint32_t mask = 0; mask < (1u << m); ++mask) {
+    std::vector<bool> used_left(num_left, false);
+    std::vector<bool> used_right(num_right, false);
+    size_t size = 0;
+    bool valid = true;
+    for (size_t e = 0; e < m && valid; ++e) {
+      if (!(mask & (1u << e))) continue;
+      auto [l, r] = edges[e];
+      if (used_left[l] || used_right[r]) {
+        valid = false;
+      } else {
+        used_left[l] = true;
+        used_right[r] = true;
+        ++size;
+      }
+    }
+    if (valid) best = std::max(best, size);
+  }
+  return best;
+}
+
+TEST(BipartiteMatcher, PerfectMatchingOnIdentity) {
+  BipartiteMatcher matcher(4, 4);
+  for (NodeId i = 0; i < 4; ++i) matcher.AddEdge(i, i);
+  EXPECT_EQ(matcher.Solve(), 4u);
+}
+
+TEST(BipartiteMatcher, StarGraphMatchesOnce) {
+  BipartiteMatcher matcher(1, 5);
+  for (NodeId r = 0; r < 5; ++r) matcher.AddEdge(0, r);
+  EXPECT_EQ(matcher.Solve(), 1u);
+}
+
+TEST(BipartiteMatcher, AugmentingPathIsFound) {
+  // l0-{r0}, l1-{r0, r1}: greedy could match l0-r0 and starve l1 without
+  // augmenting paths.
+  BipartiteMatcher matcher(2, 2);
+  matcher.AddEdge(0, 0);
+  matcher.AddEdge(1, 0);
+  matcher.AddEdge(1, 1);
+  EXPECT_EQ(matcher.Solve(), 2u);
+}
+
+TEST(BipartiteMatcher, SolveIsIdempotent) {
+  BipartiteMatcher matcher(3, 3);
+  matcher.AddEdge(0, 1);
+  matcher.AddEdge(1, 1);
+  matcher.AddEdge(2, 2);
+  size_t first = matcher.Solve();
+  EXPECT_EQ(matcher.Solve(), first);
+}
+
+TEST(BipartiteMatcher, EmptyGraph) {
+  BipartiteMatcher matcher(3, 2);
+  EXPECT_EQ(matcher.Solve(), 0u);
+  auto [cl, cr] = matcher.MinVertexCover();
+  for (bool c : cl) EXPECT_FALSE(c);
+  for (bool c : cr) EXPECT_FALSE(c);
+}
+
+class MatcherPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MatcherPropertyTest, MatchesBruteForceOracle) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  size_t num_left = 2 + rng.Uniform(5);
+  size_t num_right = 2 + rng.Uniform(5);
+  EdgeList edges;
+  size_t num_edges = rng.Uniform(13);  // <= 12 edges keeps 2^m tractable
+  for (size_t e = 0; e < num_edges; ++e) {
+    edges.emplace_back(static_cast<NodeId>(rng.Uniform(num_left)),
+                       static_cast<NodeId>(rng.Uniform(num_right)));
+  }
+  BipartiteMatcher matcher(num_left, num_right);
+  for (auto [l, r] : edges) matcher.AddEdge(l, r);
+  EXPECT_EQ(matcher.Solve(), BruteForceMatching(num_left, num_right, edges))
+      << "seed=" << seed;
+}
+
+TEST_P(MatcherPropertyTest, KonigCoverIsValidAndMinimum) {
+  uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xC0FFEE);
+  size_t num_left = 2 + rng.Uniform(6);
+  size_t num_right = 2 + rng.Uniform(6);
+  EdgeList edges;
+  for (size_t e = 0; e < 4 + rng.Uniform(9); ++e) {
+    edges.emplace_back(static_cast<NodeId>(rng.Uniform(num_left)),
+                       static_cast<NodeId>(rng.Uniform(num_right)));
+  }
+  BipartiteMatcher matcher(num_left, num_right);
+  for (auto [l, r] : edges) matcher.AddEdge(l, r);
+  size_t matching = matcher.Solve();
+  auto [cover_left, cover_right] = matcher.MinVertexCover();
+
+  // Valid: every edge covered.
+  for (auto [l, r] : edges) {
+    EXPECT_TRUE(cover_left[l] || cover_right[r])
+        << "edge (" << l << "," << r << ") uncovered, seed=" << seed;
+  }
+  // Minimum: |cover| == max matching (Kőnig).
+  size_t cover_size = 0;
+  for (bool c : cover_left) cover_size += c;
+  for (bool c : cover_right) cover_size += c;
+  EXPECT_EQ(cover_size, matching) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{41}));
+
+}  // namespace
+}  // namespace dppr

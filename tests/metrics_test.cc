@@ -1,0 +1,80 @@
+#include "dppr/ppr/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace dppr {
+namespace {
+
+TEST(Metrics, AverageL1AndLInf) {
+  std::vector<double> a{1.0, 2.0, 3.0};
+  std::vector<double> b{1.5, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(AverageL1(a, b), (0.5 + 0.0 + 2.0) / 3.0);
+  EXPECT_DOUBLE_EQ(LInfNorm(a, b), 2.0);
+}
+
+TEST(Metrics, IdenticalVectorsHaveZeroError) {
+  std::vector<double> a{0.2, 0.8, 0.0};
+  EXPECT_DOUBLE_EQ(AverageL1(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(LInfNorm(a, a), 0.0);
+}
+
+TEST(Metrics, TopKOrdersByScoreThenId) {
+  std::vector<double> scores{0.1, 0.5, 0.5, 0.9};
+  std::vector<NodeId> top = TopK(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 3u);
+  EXPECT_EQ(top[1], 1u);  // tie broken by smaller id
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(Metrics, TopKClampsToSize) {
+  std::vector<double> scores{0.3, 0.1};
+  EXPECT_EQ(TopK(scores, 10).size(), 2u);
+}
+
+TEST(Metrics, PrecisionCountsOverlap) {
+  std::vector<double> exact{0.9, 0.8, 0.7, 0.1, 0.0};
+  std::vector<double> approx{0.9, 0.0, 0.8, 0.7, 0.0};  // swaps 1 out of top-3
+  EXPECT_DOUBLE_EQ(PrecisionAtK(exact, approx, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(PrecisionAtK(exact, exact, 3), 1.0);
+}
+
+TEST(Metrics, RagIsOneForPerfectTopK) {
+  std::vector<double> exact{0.5, 0.3, 0.2, 0.0};
+  EXPECT_DOUBLE_EQ(RagAtK(exact, exact, 2), 1.0);
+}
+
+TEST(Metrics, RagPenalizesMissedMass) {
+  std::vector<double> exact{0.5, 0.3, 0.1, 0.1};
+  std::vector<double> approx{0.5, 0.0, 0.3, 0.0};  // picks node 2 over node 1
+  // approx top-2 = {0, 2}: captures 0.6 of the best-possible 0.8.
+  EXPECT_NEAR(RagAtK(exact, approx, 2), 0.6 / 0.8, 1e-12);
+}
+
+TEST(Metrics, KendallPerfectAgreement) {
+  std::vector<double> exact{0.4, 0.3, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(KendallTauAtK(exact, exact, 4), 1.0);
+}
+
+TEST(Metrics, KendallPerfectDisagreement) {
+  std::vector<double> exact{0.4, 0.3, 0.2, 0.1};
+  std::vector<double> reversed{0.1, 0.2, 0.3, 0.4};
+  EXPECT_DOUBLE_EQ(KendallTauAtK(exact, reversed, 4), -1.0);
+}
+
+TEST(Metrics, KendallSingleSwap) {
+  std::vector<double> exact{0.4, 0.3, 0.2};
+  std::vector<double> approx{0.3, 0.4, 0.2};  // swap the top pair
+  // pairs: (0,1) discordant, (0,2) concordant, (1,2) concordant => 1/3.
+  EXPECT_NEAR(KendallTauAtK(exact, approx, 3), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, KendallIgnoresTies) {
+  std::vector<double> exact{0.4, 0.4, 0.2};
+  std::vector<double> approx{0.3, 0.4, 0.2};
+  // The (0,1) pair is tied in `exact` and must not count either way.
+  EXPECT_DOUBLE_EQ(KendallTauAtK(exact, approx, 3), 1.0);
+}
+
+}  // namespace
+}  // namespace dppr

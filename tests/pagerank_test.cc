@@ -1,0 +1,69 @@
+#include "dppr/ppr/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/graph/graph_builder.h"
+#include "test_util.h"
+
+namespace dppr {
+namespace {
+
+TEST(PageRank, UniformOnDirectedCycle) {
+  GraphBuilder builder(5);
+  for (NodeId u = 0; u < 5; ++u) builder.AddEdge(u, (u + 1) % 5);
+  Graph g = builder.Build();
+  std::vector<double> pr = GlobalPageRank(g);
+  for (double v : pr) EXPECT_NEAR(v, 0.2, 1e-6);
+}
+
+TEST(PageRank, SumsToOne) {
+  Graph g = testing::RandomDigraph(200, 3.0, 9);
+  std::vector<double> pr = GlobalPageRank(g);
+  double sum = 0.0;
+  for (double v : pr) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(PageRank, SumsToOneWithDanglingNodes) {
+  Graph g = testing::RandomDigraph(100, 1.2, 4, /*self_loop_dangling=*/false);
+  ASSERT_GT(g.CountDanglingNodes(), 0u);
+  std::vector<double> pr = GlobalPageRank(g);
+  double sum = 0.0;
+  for (double v : pr) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-6);  // dangling mass redistributed, not lost
+}
+
+TEST(PageRank, StarCenterDominates) {
+  GraphBuilder builder(10);
+  for (NodeId u = 1; u < 10; ++u) {
+    builder.AddEdge(u, 0);
+    builder.AddEdge(0, u);
+  }
+  Graph g = builder.Build();
+  std::vector<double> pr = GlobalPageRank(g);
+  for (NodeId u = 1; u < 10; ++u) EXPECT_GT(pr[0], pr[u]);
+}
+
+TEST(PageRank, TopNodesAreSortedByScore) {
+  Graph g = testing::RandomDigraph(300, 3.0, 17);
+  std::vector<double> pr = GlobalPageRank(g);
+  std::vector<NodeId> top = TopPageRankNodes(g, 10);
+  ASSERT_EQ(top.size(), 10u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(pr[top[i - 1]], pr[top[i]]);
+  }
+  // Nothing outside the top-10 beats the 10th.
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (std::find(top.begin(), top.end(), u) == top.end()) {
+      EXPECT_LE(pr[u], pr[top.back()] + 1e-12);
+    }
+  }
+}
+
+TEST(PageRank, KLargerThanGraphIsClamped) {
+  Graph g = testing::RandomDigraph(20, 2.0, 3);
+  EXPECT_EQ(TopPageRankNodes(g, 100).size(), 20u);
+}
+
+}  // namespace
+}  // namespace dppr

@@ -1,0 +1,205 @@
+#include "dppr/partition/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/common/rng.h"
+#include "dppr/graph/generators.h"
+#include "dppr/partition/bisect.h"
+#include "dppr/partition/coarsen.h"
+#include "dppr/partition/kway.h"
+#include "dppr/partition/wgraph.h"
+#include "test_util.h"
+
+namespace dppr {
+namespace {
+
+using ::dppr::testing::RandomDigraph;
+
+TEST(WGraph, FromLocalGraphSymmetrizesAndWeights) {
+  // 0 -> 1, 1 -> 0 collapse into one undirected edge of weight 2.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  builder.AddEdge(1, 2);
+  Graph g = builder.Build();
+  WGraph wg = WGraph::FromLocalGraph(LocalGraph::Whole(g));
+  ASSERT_EQ(wg.num_nodes(), 3u);
+  ASSERT_EQ(wg.neighbors(0).size(), 1u);
+  EXPECT_EQ(wg.neighbors(0)[0].to, 1u);
+  EXPECT_EQ(wg.neighbors(0)[0].weight, 2u);
+  EXPECT_EQ(wg.neighbors(1).size(), 2u);
+}
+
+TEST(WGraph, SelfLoopsIgnored) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  Graph g = builder.Build();
+  WGraph wg = WGraph::FromLocalGraph(LocalGraph::Whole(g));
+  EXPECT_EQ(wg.neighbors(0).size(), 1u);
+}
+
+TEST(WGraph, CutWeightCountsCrossingEdges) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(1, 2);
+  Graph g = builder.Build();
+  WGraph wg = WGraph::FromLocalGraph(LocalGraph::Whole(g));
+  std::vector<uint8_t> side{0, 0, 1, 1};
+  EXPECT_EQ(wg.CutWeight(side), 1u);  // only edge 1-2 crosses
+}
+
+TEST(Coarsen, PreservesTotalNodeWeight) {
+  Graph g = RandomDigraph(300, 4.0, 5);
+  WGraph wg = WGraph::FromLocalGraph(LocalGraph::Whole(g));
+  Rng rng(1);
+  CoarsenResult step = CoarsenHeavyEdge(wg, rng);
+  EXPECT_LT(step.coarse.num_nodes(), wg.num_nodes());
+  EXPECT_EQ(step.coarse.total_node_weight(), wg.total_node_weight());
+  for (NodeId u = 0; u < wg.num_nodes(); ++u) {
+    ASSERT_LT(step.fine_to_coarse[u], step.coarse.num_nodes());
+  }
+}
+
+TEST(Coarsen, CutIsPreservedUnderProjection) {
+  // Any coarse bisection projected to the fine graph has the same cut.
+  Graph g = RandomDigraph(200, 3.0, 9);
+  WGraph wg = WGraph::FromLocalGraph(LocalGraph::Whole(g));
+  Rng rng(2);
+  CoarsenResult step = CoarsenHeavyEdge(wg, rng);
+  std::vector<uint8_t> coarse_side(step.coarse.num_nodes());
+  Rng side_rng(3);
+  for (auto& s : coarse_side) s = static_cast<uint8_t>(side_rng.Uniform(2));
+  std::vector<uint8_t> fine_side(wg.num_nodes());
+  for (NodeId u = 0; u < wg.num_nodes(); ++u) {
+    fine_side[u] = coarse_side[step.fine_to_coarse[u]];
+  }
+  EXPECT_EQ(step.coarse.CutWeight(coarse_side), wg.CutWeight(fine_side));
+}
+
+TEST(Bisect, ProducesBalancedSides) {
+  Graph g = RandomDigraph(1000, 4.0, 17);
+  WGraph wg = WGraph::FromLocalGraph(LocalGraph::Whole(g));
+  BisectOptions options;
+  options.seed = 4;
+  std::vector<uint8_t> side = MultilevelBisect(wg, options);
+  size_t zero = 0;
+  for (uint8_t s : side) zero += (s == 0);
+  double fraction = static_cast<double>(zero) / static_cast<double>(side.size());
+  EXPECT_GT(fraction, 0.35);
+  EXPECT_LT(fraction, 0.65);
+}
+
+TEST(Bisect, CutBeatsRandomSplit) {
+  Graph g = CommunityDigraph(1500, 6, 4.0, 0.95, 21);
+  WGraph wg = WGraph::FromLocalGraph(LocalGraph::Whole(g));
+  BisectOptions options;
+  options.seed = 5;
+  std::vector<uint8_t> side = MultilevelBisect(wg, options);
+  uint64_t cut = wg.CutWeight(side);
+
+  Rng rng(6);
+  std::vector<uint8_t> random_side(wg.num_nodes());
+  for (auto& s : random_side) s = static_cast<uint8_t>(rng.Uniform(2));
+  uint64_t random_cut = wg.CutWeight(random_side);
+  EXPECT_LT(cut, random_cut / 3) << "multilevel should crush random splits";
+}
+
+TEST(Bisect, FindsThePlantedCutOnTwoCliques) {
+  // Two 20-cliques joined by one edge: optimal cut weight is 1.
+  GraphBuilder builder(40);
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId v = 0; v < 20; ++v) {
+      if (u != v) {
+        builder.AddEdge(u, v);
+        builder.AddEdge(u + 20, v + 20);
+      }
+    }
+  }
+  builder.AddEdge(0, 20);
+  Graph g = builder.Build();
+  WGraph wg = WGraph::FromLocalGraph(LocalGraph::Whole(g));
+  BisectOptions options;
+  options.seed = 11;
+  std::vector<uint8_t> side = MultilevelBisect(wg, options);
+  EXPECT_EQ(wg.CutWeight(side), 1u);
+}
+
+TEST(Kway, CoversAllParts) {
+  Graph g = RandomDigraph(600, 4.0, 23);
+  WGraph wg = WGraph::FromLocalGraph(LocalGraph::Whole(g));
+  BisectOptions options;
+  options.seed = 7;
+  for (uint32_t k : {2u, 3u, 4u, 8u}) {
+    std::vector<uint32_t> part = RecursiveKway(wg, k, options);
+    std::vector<size_t> sizes(k, 0);
+    for (uint32_t p : part) {
+      ASSERT_LT(p, k);
+      ++sizes[p];
+    }
+    for (uint32_t p = 0; p < k; ++p) {
+      EXPECT_GT(sizes[p], 0u) << "empty part " << p << " of " << k;
+      EXPECT_LT(sizes[p], 2 * wg.num_nodes() / k) << "part " << p << " of " << k;
+    }
+  }
+}
+
+TEST(PartitionLocalGraph, AllMethodsProduceValidAssignments) {
+  Graph g = RandomDigraph(400, 3.0, 31);
+  LocalGraph lg = LocalGraph::Whole(g);
+  for (PartitionMethod method : {PartitionMethod::kMultilevel,
+                                 PartitionMethod::kBfs, PartitionMethod::kRandom}) {
+    PartitionOptions options;
+    options.method = method;
+    std::vector<uint32_t> part = PartitionLocalGraph(lg, 4, options);
+    PartitionQuality quality = EvaluatePartition(lg, part, 4);
+    EXPECT_GT(quality.smallest_part, 0u);
+    EXPECT_LT(quality.balance, 2.0);
+  }
+}
+
+TEST(PartitionLocalGraph, MultilevelHasSmallestCut) {
+  Graph g = CommunityDigraph(1200, 8, 4.0, 0.92, 3);
+  LocalGraph lg = LocalGraph::Whole(g);
+  auto cut_for = [&](PartitionMethod method) {
+    PartitionOptions options;
+    options.method = method;
+    return EvaluatePartition(lg, PartitionLocalGraph(lg, 4, options), 4).cut_edges;
+  };
+  uint64_t multilevel = cut_for(PartitionMethod::kMultilevel);
+  uint64_t random = cut_for(PartitionMethod::kRandom);
+  EXPECT_LT(multilevel, random);
+}
+
+TEST(PartitionLocalGraph, SinglePartIsTrivial) {
+  Graph g = RandomDigraph(50, 2.0, 1);
+  LocalGraph lg = LocalGraph::Whole(g);
+  std::vector<uint32_t> part = PartitionLocalGraph(lg, 1);
+  for (uint32_t p : part) EXPECT_EQ(p, 0u);
+}
+
+class BisectSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BisectSeedTest, BalanceHoldsAcrossSeedsAndShapes) {
+  uint64_t seed = GetParam();
+  Graph g = RandomDigraph(300 + 40 * (seed % 5), 2.0 + (seed % 4), seed);
+  WGraph wg = WGraph::FromLocalGraph(LocalGraph::Whole(g));
+  BisectOptions options;
+  options.seed = seed;
+  std::vector<uint8_t> side = MultilevelBisect(wg, options);
+  uint64_t weight0 = 0;
+  for (NodeId u = 0; u < wg.num_nodes(); ++u) {
+    if (side[u] == 0) weight0 += wg.node_weight(u);
+  }
+  double fraction =
+      static_cast<double>(weight0) / static_cast<double>(wg.total_node_weight());
+  EXPECT_GT(fraction, 0.30) << "seed=" << seed;
+  EXPECT_LT(fraction, 0.70) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BisectSeedTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace dppr

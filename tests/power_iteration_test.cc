@@ -1,0 +1,136 @@
+#include "dppr/ppr/power_iteration.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/graph/graph_builder.h"
+#include "dppr/graph/local_graph.h"
+#include "dppr/ppr/dense_solver.h"
+#include "dppr/ppr/metrics.h"
+#include "test_util.h"
+
+namespace dppr {
+namespace {
+
+using ::dppr::testing::RandomDigraph;
+
+PowerIterationOptions Tight() {
+  PowerIterationOptions options;
+  options.ppr.tolerance = 1e-11;
+  options.dangling = PowerDangling::kAbsorb;
+  return options;
+}
+
+TEST(PowerIteration, TwoNodeCycleClosedForm) {
+  // 0 <-> 1: r_0(0) = α / (1 - (1-α)^2), r_0(1) = (1-α) r_0(0).
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 0);
+  Graph g = builder.Build();
+  auto result = PowerIterationPpv(g, 0, Tight());
+  double alpha = 0.15;
+  double expected0 = alpha / (1.0 - (1.0 - alpha) * (1.0 - alpha));
+  EXPECT_NEAR(result.ppv[0], expected0, 1e-9);
+  EXPECT_NEAR(result.ppv[1], (1.0 - alpha) * expected0, 1e-9);
+}
+
+TEST(PowerIteration, SelfLoopOnlyNodeGetsFullMass) {
+  GraphBuilder builder(1);
+  builder.AddEdge(0, 0);
+  Graph g = builder.Build();
+  auto result = PowerIterationPpv(g, 0, Tight());
+  EXPECT_NEAR(result.ppv[0], 1.0, 1e-9);
+}
+
+TEST(PowerIteration, MassSumsToOneOnStronglyConnectedGraph) {
+  Graph g = RandomDigraph(50, 4.0, 7);
+  auto result = PowerIterationPpv(g, 3, Tight());
+  double sum = 0.0;
+  for (double v : result.ppv) sum += v;
+  // Self-loop dangling policy: no mass is lost.
+  EXPECT_NEAR(sum, 1.0, 1e-8);
+}
+
+TEST(PowerIteration, AbsorbPolicyLosesDanglingMass) {
+  // 0 -> 1, 1 dangling (no self-loop added).
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  GraphBuildOptions opts;
+  opts.dangling = DanglingPolicy::kKeep;
+  Graph g = builder.Build(opts);
+  auto result = PowerIterationPpv(g, 0, Tight());
+  // r(0) = α, r(1) = (1-α)·α; the rest of the mass dies at node 1.
+  EXPECT_NEAR(result.ppv[0], 0.15, 1e-9);
+  EXPECT_NEAR(result.ppv[1], 0.85 * 0.15, 1e-9);
+}
+
+TEST(PowerIteration, RedirectPolicyMatchesExplicitBackEdge) {
+  // Redirect-to-query (paper Algorithm 2 lines 14-16) must equal solving the
+  // graph where the dangling node has an explicit edge to the query node.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);  // 2 dangling
+  GraphBuildOptions keep;
+  keep.dangling = DanglingPolicy::kKeep;
+  Graph g = builder.Build(keep);
+
+  PowerIterationOptions options = Tight();
+  options.dangling = PowerDangling::kRedirectToQuery;
+  auto redirected = PowerIterationPpv(g, 0, options);
+
+  GraphBuilder explicit_builder(3);
+  explicit_builder.AddEdge(0, 1);
+  explicit_builder.AddEdge(1, 2);
+  explicit_builder.AddEdge(2, 0);  // explicit back edge to the query
+  Graph g2 = explicit_builder.Build(keep);
+  std::vector<double> oracle = ExactPpvDense(g2, 0, Tight().ppr);
+
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_NEAR(redirected.ppv[v], oracle[v], 1e-8) << "node " << v;
+  }
+}
+
+class PowerIterationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PowerIterationPropertyTest, MatchesDenseOracle) {
+  uint64_t seed = GetParam();
+  Graph g = RandomDigraph(60, 3.0, seed);
+  for (NodeId q : {NodeId{0}, NodeId{17}, NodeId{59}}) {
+    auto iterative = PowerIterationPpv(g, q, Tight());
+    std::vector<double> oracle = ExactPpvDense(g, q, Tight().ppr);
+    EXPECT_LT(LInfNorm(iterative.ppv, oracle), 1e-7)
+        << "seed=" << seed << " query=" << q;
+  }
+}
+
+TEST_P(PowerIterationPropertyTest, LocalGraphMatchesDenseOracle) {
+  uint64_t seed = GetParam();
+  Graph g = RandomDigraph(60, 3.0, seed);
+  // Take an arbitrary half of the nodes as a virtual subgraph.
+  std::vector<NodeId> subset;
+  for (NodeId u = 0; u < 30; ++u) subset.push_back(u);
+  LocalGraph lg = LocalGraph::Induce(g, subset);
+  auto iterative = PowerIterationPpv(lg, 5, Tight());
+  std::vector<double> oracle = ExactPpvDense(lg, 5, Tight().ppr);
+  EXPECT_LT(LInfNorm(iterative.ppv, oracle), 1e-7) << "seed=" << seed;
+}
+
+TEST_P(PowerIterationPropertyTest, ToleranceBoundsError) {
+  uint64_t seed = GetParam();
+  Graph g = RandomDigraph(80, 3.0, seed);
+  std::vector<double> oracle = ExactPpvDense(g, 11, PprOptions{});
+  for (double tol : {1e-4, 1e-6, 1e-8}) {
+    PowerIterationOptions options;
+    options.ppr.tolerance = tol;
+    options.dangling = PowerDangling::kAbsorb;
+    auto result = PowerIterationPpv(g, 11, options);
+    // Geometric tail: per-entry error is within tol/α of the fixed point.
+    EXPECT_LT(LInfNorm(result.ppv, oracle), tol / 0.15 + 1e-12)
+        << "seed=" << seed << " tol=" << tol;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PowerIterationPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace dppr

@@ -1,0 +1,83 @@
+#include "dppr/baseline/ppv_jw.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/core/precompute.h"
+#include "dppr/graph/datasets.h"
+#include "dppr/ppr/dense_solver.h"
+#include "dppr/ppr/metrics.h"
+#include "test_util.h"
+
+namespace dppr {
+namespace {
+
+using ::dppr::testing::RandomDigraph;
+
+PpvJwOptions Tight(size_t hubs) {
+  PpvJwOptions options;
+  options.ppr.tolerance = 1e-10;
+  options.num_hubs = hubs;
+  return options;
+}
+
+TEST(PpvJw, ExactOnTinyGraph) {
+  Graph g = PaperFigure3Graph();
+  PpvJwIndex index = PpvJwIndex::Build(g, Tight(2));
+  for (NodeId q = 0; q < g.num_nodes(); ++q) {
+    std::vector<double> got = index.Query(q);
+    std::vector<double> oracle = ExactPpvDense(g, q, Tight(2).ppr);
+    EXPECT_LT(LInfNorm(got, oracle), 1e-7) << "query " << q;
+  }
+}
+
+TEST(PpvJw, HubsAreHighPageRankNodes) {
+  Graph g = RandomDigraph(200, 3.0, 5);
+  PpvJwIndex index = PpvJwIndex::Build(g, Tight(8));
+  EXPECT_EQ(index.hubs().size(), 8u);
+  EXPECT_TRUE(std::is_sorted(index.hubs().begin(), index.hubs().end()));
+}
+
+class PpvJwPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PpvJwPropertyTest, Eq4IsExactForAnyHubSet) {
+  // §2.3: PPV-JW is exact for arbitrary (non-separator) hub sets — only its
+  // space is bad. Queries include hub nodes themselves.
+  uint64_t seed = GetParam();
+  Graph g = RandomDigraph(70, 3.0, seed);
+  PpvJwIndex index = PpvJwIndex::Build(g, Tight(1 + seed % 12));
+  NodeId hub_query = index.hubs().front();
+  NodeId other_query = static_cast<NodeId>(seed % g.num_nodes());
+  for (NodeId q : {hub_query, other_query}) {
+    std::vector<double> got = index.Query(q);
+    std::vector<double> oracle = ExactPpvDense(g, q, Tight(1).ppr);
+    EXPECT_LT(LInfNorm(got, oracle), 1e-6) << "seed=" << seed << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PpvJwPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(PpvJw, SpaceBlowsUpComparedToGpaOnCommunityGraph) {
+  // The motivating comparison of §2.3/§3.2: PageRank hubs do not confine
+  // partial-vector supports, separator hubs do.
+  Graph g = YoutubeLike(0.04);
+  HgpaOptions hgpa_options;
+  auto gpa = HgpaPrecomputation::RunGpa(g, 4, hgpa_options);
+  size_t gpa_hub_count = gpa->hierarchy().TotalHubCount();
+
+  PpvJwOptions jw_options;
+  jw_options.num_hubs = std::max<size_t>(1, gpa_hub_count);
+  PpvJwIndex jw = PpvJwIndex::Build(g, jw_options);
+  EXPECT_GT(jw.TotalBytes(), gpa->TotalBytes())
+      << "JW hubs=" << jw_options.num_hubs << " GPA hubs=" << gpa_hub_count;
+}
+
+TEST(PpvJw, ReportsBuildCost) {
+  Graph g = RandomDigraph(80, 3.0, 2);
+  PpvJwIndex index = PpvJwIndex::Build(g, Tight(4));
+  EXPECT_GT(index.TotalBytes(), 0u);
+  EXPECT_GT(index.build_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace dppr

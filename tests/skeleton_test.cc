@@ -1,0 +1,99 @@
+#include "dppr/ppr/skeleton.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/graph/local_graph.h"
+#include "dppr/ppr/dense_solver.h"
+#include "dppr/ppr/metrics.h"
+#include "test_util.h"
+
+namespace dppr {
+namespace {
+
+using ::dppr::testing::RandomDigraph;
+
+PprOptions Tight() {
+  PprOptions options;
+  options.tolerance = 1e-10;
+  return options;
+}
+
+TEST(Skeleton, IterationCountCoversTolerance) {
+  PprOptions options;
+  options.alpha = 0.15;
+  options.tolerance = 1e-4;
+  size_t k = SkeletonIterationCount(options);
+  EXPECT_LE(std::pow(1.0 - options.alpha, static_cast<double>(k)), 1e-4);
+  EXPECT_GT(std::pow(1.0 - options.alpha, static_cast<double>(k - 1)), 1e-4);
+}
+
+TEST(Skeleton, FixedPointColumnMatchesPerSourceOracle) {
+  // Theorem 6 / Definition 2: F(u) == r_u(h) for every source u.
+  Graph g = RandomDigraph(40, 3.0, 3);
+  LocalGraph lg = LocalGraph::Whole(g);
+  NodeId hub = 9;
+  std::vector<double> column = SkeletonFixedPoint(lg, hub, Tight());
+  for (NodeId u = 0; u < lg.num_nodes(); ++u) {
+    std::vector<double> ppv = ExactPpvDense(lg, u, Tight());
+    EXPECT_NEAR(column[u], ppv[hub], 1e-7) << "source " << u;
+  }
+}
+
+TEST(Skeleton, HubSeesItsOwnTeleportMass) {
+  Graph g = RandomDigraph(30, 2.0, 11);
+  LocalGraph lg = LocalGraph::Whole(g);
+  std::vector<double> column = SkeletonFixedPoint(lg, 4, Tight());
+  // s_h(h) = r_h(h) >= α (the zero-length tour).
+  EXPECT_GE(column[4], 0.15 - 1e-9);
+}
+
+TEST(Skeleton, VirtualSubgraphLosesEscapingMass) {
+  // Path 0 -> 1 -> 2; induce {0, 1}: from 0, reaching 1 still works but mass
+  // forwarded from 1 escapes to the virtual node.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 2);
+  Graph g = builder.Build();
+  std::vector<NodeId> subset{0, 1};
+  LocalGraph lg = LocalGraph::Induce(g, subset);
+  std::vector<double> column = SkeletonFixedPoint(lg, /*hub=*/1, Tight());
+  // r_0(1) within the virtual subgraph: walk 0->1 then absorb: α(1-α).
+  EXPECT_NEAR(column[0], 0.15 * 0.85, 1e-9);
+  EXPECT_NEAR(column[1], 0.15, 1e-9);
+}
+
+class SkeletonPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SkeletonPropertyTest, ReversePushMatchesFixedPoint) {
+  uint64_t seed = GetParam();
+  Graph g = RandomDigraph(80, 3.0, seed);
+  LocalGraph lg = LocalGraph::Whole(g, /*build_in_edges=*/true);
+  PprOptions options;
+  options.tolerance = 1e-9;
+  for (NodeId hub : {NodeId{2}, NodeId{41}, NodeId{77}}) {
+    std::vector<double> fixed = SkeletonFixedPoint(lg, hub, options);
+    std::vector<double> pushed = SkeletonReversePush(lg, hub, options);
+    // Both carry per-entry error <= tolerance against the true column.
+    EXPECT_LT(LInfNorm(fixed, pushed), 3e-9) << "seed=" << seed << " hub=" << hub;
+  }
+}
+
+TEST_P(SkeletonPropertyTest, ReversePushOnInducedSubgraph) {
+  uint64_t seed = GetParam();
+  Graph g = RandomDigraph(60, 3.0, seed);
+  std::vector<NodeId> subset;
+  for (NodeId u = 0; u < 35; ++u) subset.push_back(u);
+  LocalGraph lg = LocalGraph::Induce(g, subset, /*build_in_edges=*/true);
+  PprOptions options;
+  options.tolerance = 1e-9;
+  std::vector<double> fixed = SkeletonFixedPoint(lg, 7, options);
+  std::vector<double> pushed = SkeletonReversePush(lg, 7, options);
+  EXPECT_LT(LInfNorm(fixed, pushed), 3e-9) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkeletonPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace dppr

@@ -1,0 +1,117 @@
+#include "dppr/ppr/sparse_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/common/rng.h"
+
+namespace dppr {
+namespace {
+
+TEST(SparseVector, FromEntriesSortsAndMerges) {
+  SparseVector v = SparseVector::FromEntries({{5, 1.0}, {2, 0.5}, {5, 2.0}});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.entries()[0].index, 2u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].value, 0.5);
+  EXPECT_EQ(v.entries()[1].index, 5u);
+  EXPECT_DOUBLE_EQ(v.entries()[1].value, 3.0);
+}
+
+TEST(SparseVector, FromDensePrunes) {
+  std::vector<double> dense{0.0, 0.5, 1e-9, -0.25};
+  SparseVector v = SparseVector::FromDense(dense, 1e-6);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.ValueAt(1), 0.5);
+  EXPECT_DOUBLE_EQ(v.ValueAt(3), -0.25);
+  EXPECT_DOUBLE_EQ(v.ValueAt(2), 0.0);
+}
+
+TEST(SparseVector, ValueAtMissingIsZero) {
+  SparseVector v = SparseVector::FromEntries({{1, 1.0}, {7, 2.0}});
+  EXPECT_DOUBLE_EQ(v.ValueAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(4), 0.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(100), 0.0);
+}
+
+TEST(SparseVector, L1Norm) {
+  SparseVector v = SparseVector::FromEntries({{0, -1.0}, {3, 2.5}});
+  EXPECT_DOUBLE_EQ(v.L1Norm(), 3.5);
+}
+
+TEST(SparseVector, AddScaledTo) {
+  SparseVector v = SparseVector::FromEntries({{0, 1.0}, {2, 2.0}});
+  std::vector<double> dense(4, 1.0);
+  v.AddScaledTo(dense, 0.5);
+  EXPECT_DOUBLE_EQ(dense[0], 1.5);
+  EXPECT_DOUBLE_EQ(dense[1], 1.0);
+  EXPECT_DOUBLE_EQ(dense[2], 2.0);
+}
+
+TEST(SparseVector, SerializeRoundTrip) {
+  Rng rng(77);
+  std::vector<SparseVector::Entry> entries;
+  for (int i = 0; i < 500; ++i) {
+    entries.push_back({static_cast<NodeId>(rng.Uniform(100000)),
+                       rng.NextDouble() - 0.5});
+  }
+  SparseVector v = SparseVector::FromEntries(std::move(entries));
+  ByteWriter writer;
+  v.SerializeTo(writer);
+  EXPECT_EQ(writer.size(), v.SerializedBytes());
+  ByteReader reader(writer.bytes());
+  SparseVector back = SparseVector::Deserialize(reader);
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(v, back);
+}
+
+TEST(SparseVector, SerializedBytesMatchesForEmptyVector) {
+  SparseVector v;
+  ByteWriter writer;
+  v.SerializeTo(writer);
+  EXPECT_EQ(writer.size(), v.SerializedBytes());
+  EXPECT_EQ(writer.size(), 1u);  // just the varint count 0
+}
+
+TEST(SparseVector, PrunedRemovesSmallMagnitudes) {
+  SparseVector v =
+      SparseVector::FromEntries({{0, 1e-5}, {1, -1e-5}, {2, 0.1}, {3, -0.1}});
+  SparseVector pruned = v.Pruned(1e-4);
+  ASSERT_EQ(pruned.size(), 2u);
+  EXPECT_DOUBLE_EQ(pruned.ValueAt(2), 0.1);
+  EXPECT_DOUBLE_EQ(pruned.ValueAt(3), -0.1);
+}
+
+TEST(DenseAccumulator, AccumulatesAndClears) {
+  DenseAccumulator acc(10);
+  acc.Add(3, 1.0);
+  acc.Add(3, 2.0);
+  acc.Add(7, -1.0);
+  EXPECT_DOUBLE_EQ(acc.ValueAt(3), 3.0);
+  EXPECT_EQ(acc.touched().size(), 2u);
+
+  SparseVector sparse = acc.ToSparse();
+  EXPECT_EQ(sparse.size(), 2u);
+
+  acc.Clear();
+  EXPECT_DOUBLE_EQ(acc.ValueAt(3), 0.0);
+  EXPECT_TRUE(acc.touched().empty());
+}
+
+TEST(DenseAccumulator, AddVectorWithScale) {
+  DenseAccumulator acc(5);
+  SparseVector v = SparseVector::FromEntries({{1, 2.0}, {4, 4.0}});
+  acc.AddVector(v, 0.25);
+  EXPECT_DOUBLE_EQ(acc.ValueAt(1), 0.5);
+  EXPECT_DOUBLE_EQ(acc.ValueAt(4), 1.0);
+}
+
+TEST(DenseAccumulator, ToSparseCancellationStillListed) {
+  DenseAccumulator acc(4);
+  acc.Add(2, 1.0);
+  acc.Add(2, -1.0);
+  // Exact zero after cancellation: excluded from the sparse view.
+  SparseVector sparse = acc.ToSparse();
+  EXPECT_EQ(sparse.size(), 0u);
+}
+
+}  // namespace
+}  // namespace dppr

@@ -1,0 +1,23 @@
+#include "test_util.h"
+
+#include "dppr/common/rng.h"
+
+namespace dppr::testing {
+
+Graph RandomDigraph(size_t num_nodes, double avg_degree, uint64_t seed,
+                    bool self_loop_dangling) {
+  Rng rng(seed);
+  GraphBuilder builder(num_nodes);
+  size_t num_edges = static_cast<size_t>(avg_degree * static_cast<double>(num_nodes));
+  for (size_t i = 0; i < num_edges; ++i) {
+    builder.AddEdge(static_cast<NodeId>(rng.Uniform(num_nodes)),
+                    static_cast<NodeId>(rng.Uniform(num_nodes)));
+  }
+  GraphBuildOptions options;
+  options.dangling =
+      self_loop_dangling ? DanglingPolicy::kSelfLoop : DanglingPolicy::kKeep;
+  options.build_in_edges = true;
+  return builder.Build(options);
+}
+
+}  // namespace dppr::testing

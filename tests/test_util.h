@@ -1,0 +1,53 @@
+#ifndef DPPR_TESTS_TEST_UTIL_H_
+#define DPPR_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dppr/graph/graph.h"
+#include "dppr/graph/graph_builder.h"
+#include "dppr/graph/local_graph.h"
+#include "dppr/ppr/ppr_options.h"
+
+namespace dppr::testing {
+
+/// Small deterministic random digraph for property tests: `num_nodes` nodes,
+/// ~`avg_degree` random out-edges each, self-loops added to dangling nodes so
+/// all PPR engines agree on semantics.
+Graph RandomDigraph(size_t num_nodes, double avg_degree, uint64_t seed,
+                    bool self_loop_dangling = true);
+
+/// A GraphView adapter over another view that hides the out-edges of blocked
+/// nodes (their degree denominator is preserved). Mass entering a blocked
+/// node then never leaves — the oracle for selective-expansion semantics.
+class BlockedView {
+ public:
+  BlockedView(const LocalGraph& base, const std::vector<NodeId>& blocked)
+      : base_(base), blocked_(base.num_nodes(), 0) {
+    for (NodeId b : blocked) blocked_[b] = 1;
+  }
+
+  size_t num_nodes() const { return base_.num_nodes(); }
+  uint32_t degree_denominator(NodeId u) const {
+    return base_.degree_denominator(u);
+  }
+  std::span<const NodeId> OutNeighbors(NodeId u) const {
+    if (blocked_[u]) return {};
+    return base_.OutNeighbors(u);
+  }
+
+ private:
+  const LocalGraph& base_;
+  std::vector<uint8_t> blocked_;
+};
+
+/// Tight-tolerance options for near-exact comparisons in tests.
+inline PprOptions TightPpr() {
+  PprOptions options;
+  options.tolerance = 1e-9;
+  return options;
+}
+
+}  // namespace dppr::testing
+
+#endif  // DPPR_TESTS_TEST_UTIL_H_

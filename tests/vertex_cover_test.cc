@@ -1,0 +1,88 @@
+#include "dppr/partition/vertex_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/common/rng.h"
+
+namespace dppr {
+namespace {
+
+std::vector<uint8_t> Flags(size_t n, const std::vector<NodeId>& cover) {
+  std::vector<uint8_t> flags(n, 0);
+  for (NodeId u : cover) flags[u] = 1;
+  return flags;
+}
+
+// Minimum vertex cover by exhaustive search (oracle for tiny inputs).
+size_t BruteForceCoverSize(size_t n, const EdgeList& edges) {
+  for (size_t size = 0; size <= n; ++size) {
+    // Try all subsets of exactly `size` nodes.
+    std::vector<bool> pick(n, false);
+    std::fill(pick.end() - static_cast<ptrdiff_t>(size), pick.end(), true);
+    do {
+      std::vector<uint8_t> flags(n, 0);
+      for (size_t u = 0; u < n; ++u) flags[u] = pick[u];
+      if (IsVertexCover(edges, flags)) return size;
+    } while (std::next_permutation(pick.begin(), pick.end()));
+  }
+  return n;
+}
+
+TEST(VertexCover, EmptyEdgesNeedNoCover) {
+  EXPECT_TRUE(GreedyVertexCover(5, {}).empty());
+  EXPECT_TRUE(TwoApproxVertexCover(5, {}).empty());
+}
+
+TEST(VertexCover, StarIsCoveredByCenter) {
+  EdgeList edges{{0, 1}, {0, 2}, {0, 3}, {0, 4}};
+  std::vector<NodeId> cover = GreedyVertexCover(5, edges);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], 0u);
+}
+
+TEST(VertexCover, IsVertexCoverDetectsGaps) {
+  EdgeList edges{{0, 1}, {2, 3}};
+  EXPECT_TRUE(IsVertexCover(edges, {1, 0, 1, 0}));
+  EXPECT_FALSE(IsVertexCover(edges, {1, 0, 0, 0}));
+}
+
+class CoverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoverPropertyTest, GreedyIsValidAndNearOptimal) {
+  uint64_t seed = GetParam();
+  Rng rng(seed);
+  size_t n = 4 + rng.Uniform(6);
+  EdgeList edges;
+  for (size_t e = 0; e < 3 + rng.Uniform(10); ++e) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    NodeId v = static_cast<NodeId>(rng.Uniform(n));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  std::vector<NodeId> greedy = GreedyVertexCover(n, edges);
+  EXPECT_TRUE(IsVertexCover(edges, Flags(n, greedy))) << "seed=" << seed;
+
+  size_t optimal = BruteForceCoverSize(n, edges);
+  EXPECT_LE(greedy.size(), 2 * optimal + 1) << "seed=" << seed;
+}
+
+TEST_P(CoverPropertyTest, TwoApproxIsValidAndWithinFactorTwo) {
+  uint64_t seed = GetParam();
+  Rng rng(seed ^ 0xABCD);
+  size_t n = 4 + rng.Uniform(6);
+  EdgeList edges;
+  for (size_t e = 0; e < 3 + rng.Uniform(10); ++e) {
+    NodeId u = static_cast<NodeId>(rng.Uniform(n));
+    NodeId v = static_cast<NodeId>(rng.Uniform(n));
+    if (u != v) edges.emplace_back(u, v);
+  }
+  std::vector<NodeId> cover = TwoApproxVertexCover(n, edges);
+  EXPECT_TRUE(IsVertexCover(edges, Flags(n, cover))) << "seed=" << seed;
+  size_t optimal = BruteForceCoverSize(n, edges);
+  EXPECT_LE(cover.size(), 2 * optimal) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverPropertyTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{31}));
+
+}  // namespace
+}  // namespace dppr
