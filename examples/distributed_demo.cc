@@ -41,6 +41,38 @@ int main() {
                 index.offline_ledger().MaxSeconds(), comm_kb / queries.size());
   }
 
+  // Same index, three interconnects: the 100 Mbit switch the paper measured
+  // on, a gigabit LAN, and a datacenter fabric. Compute is unchanged — only
+  // the modeled transfer of the coordinator-bound payloads shifts.
+  struct Preset {
+    const char* name;
+    NetworkModel net;
+  };
+  const Preset presets[] = {
+      {"100 Mbit LAN (paper)", NetworkModel::Lan100Mbit()},
+      {"1 Gbit LAN", NetworkModel::Lan1Gbit()},
+      {"datacenter", NetworkModel::Datacenter()},
+  };
+  HgpaIndex sweep_index = HgpaIndex::Distribute(pre, 6);
+  std::printf("\nnetwork sweep, 6 machines:\n");
+  std::printf("%-22s %14s %14s %12s\n", "link", "simulated(ms)", "compute(ms)",
+              "net share");
+  for (const Preset& preset : presets) {
+    HgpaQueryEngine engine(sweep_index, preset.net);
+    double simulated_ms = 0;
+    double compute_ms = 0;
+    for (NodeId q : queries) {
+      QueryMetrics metrics;
+      engine.Query(q, &metrics);
+      simulated_ms += metrics.simulated_seconds * 1e3;
+      compute_ms += metrics.ComputeSeconds() * 1e3;
+    }
+    simulated_ms /= queries.size();
+    compute_ms /= queries.size();
+    std::printf("%-22s %14.2f %14.2f %11.0f%%\n", preset.name, simulated_ms,
+                compute_ms, 100.0 * (simulated_ms - compute_ms) / simulated_ms);
+  }
+
   // The BSP baseline pays a message wave per superstep instead.
   BspOptions bsp;
   bsp.num_machines = 6;

@@ -1,0 +1,85 @@
+#include "dppr/dist/cluster.h"
+
+#include <algorithm>
+
+#include "dppr/common/macros.h"
+#include "dppr/common/thread_pool.h"
+#include "dppr/common/timer.h"
+
+namespace dppr {
+
+double RoundMetrics::MaxMachineSeconds() const {
+  double max = 0.0;
+  for (double s : machine_seconds) max = std::max(max, s);
+  return max;
+}
+
+double RoundMetrics::SimulatedSeconds(const NetworkModel& net) const {
+  // Σ over messages of TransferSeconds(bytes_i), folded into aggregate form:
+  // all coordinator-bound sends share the coordinator's ingress link.
+  double transfer =
+      static_cast<double>(to_coordinator.bytes) / net.bandwidth_bytes_per_sec +
+      static_cast<double>(to_coordinator.messages) * net.latency_seconds;
+  return MaxMachineSeconds() + transfer + coordinator_seconds;
+}
+
+void MultiRoundStats::Accumulate(const RoundMetrics& round,
+                                 const NetworkModel& net) {
+  ++rounds;
+  simulated_seconds += round.SimulatedSeconds(net);
+  max_machine_seconds += round.MaxMachineSeconds();
+  coordinator_seconds += round.coordinator_seconds;
+  comm += round.to_coordinator;
+}
+
+SimCluster::SimCluster(size_t num_machines, NetworkModel network,
+                       bool sequential)
+    : num_machines_(num_machines),
+      network_(network),
+      sequential_(sequential) {
+  DPPR_CHECK_GE(num_machines, 1u);
+}
+
+SimCluster::RoundResult SimCluster::RunRound(const MachineTask& task) const {
+  DPPR_CHECK(task != nullptr);
+  RoundResult result;
+  result.payloads.resize(num_machines_);
+  result.metrics.machine_seconds.assign(num_machines_, 0.0);
+
+  auto run_machine = [&](size_t machine) {
+    WallTimer timer;
+    result.payloads[machine] = task(machine);
+    result.metrics.machine_seconds[machine] = timer.ElapsedSeconds();
+  };
+
+  if (sequential_ || num_machines_ == 1) {
+    for (size_t machine = 0; machine < num_machines_; ++machine) {
+      run_machine(machine);
+    }
+  } else {
+    ThreadPool::Default().ParallelFor(num_machines_, run_machine);
+  }
+
+  // Charge traffic in machine order so CommStats is independent of which
+  // worker finished first.
+  for (const auto& payload : result.payloads) {
+    result.metrics.to_coordinator.Record(payload.size());
+  }
+  return result;
+}
+
+SimCluster::RoundResult SimCluster::RunRound(
+    const MachineTask& task, const std::function<void(RoundResult&)>& reduce,
+    MultiRoundStats* stats) const {
+  DPPR_CHECK(stats != nullptr);
+  RoundResult result = RunRound(task);
+  if (reduce != nullptr) {
+    WallTimer timer;
+    reduce(result);
+    result.metrics.coordinator_seconds = timer.ElapsedSeconds();
+  }
+  stats->Accumulate(result.metrics, network_);
+  return result;
+}
+
+}  // namespace dppr

@@ -1,0 +1,98 @@
+#ifndef DPPR_DIST_CLUSTER_H_
+#define DPPR_DIST_CLUSTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dppr/dist/ledger.h"
+#include "dppr/dist/network.h"
+
+namespace dppr {
+
+/// Measured + modeled cost of one communication round (all machines compute,
+/// then every machine ships one payload to the coordinator, which reduces).
+struct RoundMetrics {
+  /// Measured compute time of each simulated machine's task.
+  std::vector<double> machine_seconds;
+  /// Coordinator-bound traffic (the paper's communication-cost metric).
+  CommStats to_coordinator;
+  /// Measured coordinator reduce time (filled in by the caller).
+  double coordinator_seconds = 0.0;
+
+  double MaxMachineSeconds() const;
+
+  /// End-to-end latency of the round under `net`: machines run in parallel
+  /// (max compute), their sends serialize into the coordinator's link (total
+  /// bytes at link bandwidth plus one latency per message), then the
+  /// coordinator reduces. This is the paper's reported "runtime".
+  double SimulatedSeconds(const NetworkModel& net) const;
+};
+
+/// Accumulates RoundMetrics across the supersteps of a multi-round algorithm
+/// (the BSP baseline pays one round per superstep; HGPA pays exactly one).
+struct MultiRoundStats {
+  size_t rounds = 0;
+  /// Σ per-round SimulatedSeconds under the network given to Accumulate.
+  double simulated_seconds = 0.0;
+  /// Σ per-round max machine compute (the compute-only critical path).
+  double max_machine_seconds = 0.0;
+  double coordinator_seconds = 0.0;
+  CommStats comm;
+
+  void Accumulate(const RoundMetrics& round, const NetworkModel& net);
+};
+
+/// A cluster of `n` simulated machines sharing this process's cores. One
+/// round runs a caller-supplied task per machine on the shared ThreadPool
+/// (tasks only time their own work, so n may far exceed the physical core
+/// count), gathers each machine's serialized payload as if sent to the
+/// coordinator, and reports measured compute plus modeled network cost.
+class SimCluster {
+ public:
+  /// Machine task: given the machine index, returns the payload that machine
+  /// sends to the coordinator at the end of the round.
+  using MachineTask = std::function<std::vector<uint8_t>(size_t machine)>;
+
+  struct RoundResult {
+    /// Payload of machine m at index m, independent of execution order.
+    std::vector<std::vector<uint8_t>> payloads;
+    RoundMetrics metrics;
+  };
+
+  /// `sequential` runs machine tasks in machine order on the calling thread:
+  /// fully deterministic (no scheduler interleaving), at the price of wall
+  /// clock. Payloads and CommStats are deterministic in both modes as long as
+  /// the task itself is; sequential mode additionally admits tasks that share
+  /// mutable state across machines.
+  explicit SimCluster(size_t num_machines, NetworkModel network = {},
+                      bool sequential = false);
+
+  size_t num_machines() const { return num_machines_; }
+  const NetworkModel& network() const { return network_; }
+  bool sequential() const { return sequential_; }
+  void set_sequential(bool sequential) { sequential_ = sequential; }
+
+  /// Runs one round: `task(m)` for every machine m, each timed individually.
+  /// The returned metrics have machine_seconds and to_coordinator filled;
+  /// coordinator_seconds is left 0 for the caller's reduce phase.
+  RoundResult RunRound(const MachineTask& task) const;
+
+  /// Multi-round convenience: runs one round, times `reduce` as the
+  /// coordinator phase (stored into the round's coordinator_seconds), and
+  /// folds the completed round into `stats` under this cluster's network
+  /// model. Callers with no reduce work may pass a no-op.
+  RoundResult RunRound(const MachineTask& task,
+                       const std::function<void(RoundResult&)>& reduce,
+                       MultiRoundStats* stats) const;
+
+ private:
+  size_t num_machines_;
+  NetworkModel network_;
+  bool sequential_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_DIST_CLUSTER_H_

@@ -1,0 +1,52 @@
+#ifndef DPPR_DIST_LEDGER_H_
+#define DPPR_DIST_LEDGER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+#include "dppr/common/macros.h"
+
+namespace dppr {
+
+/// Per-machine accumulated compute time. Offline precomputation charges each
+/// vector's build time to the machine that stores it; the paper's offline
+/// metric is then MaxSeconds() (machines work in parallel) while
+/// TotalSeconds() is the centralized-equivalent cost.
+class MachineTimeLedger {
+ public:
+  explicit MachineTimeLedger(size_t num_machines)
+      : seconds_(num_machines, 0.0) {
+    DPPR_CHECK_GE(num_machines, 1u);
+  }
+
+  void Add(size_t machine, double seconds) {
+    DPPR_CHECK_LT(machine, seconds_.size());
+    seconds_[machine] += seconds;
+  }
+
+  double Seconds(size_t machine) const {
+    DPPR_CHECK_LT(machine, seconds_.size());
+    return seconds_[machine];
+  }
+
+  /// Parallel makespan: the slowest machine's total.
+  double MaxSeconds() const {
+    return *std::max_element(seconds_.begin(), seconds_.end());
+  }
+
+  /// Work-sum across machines (what one machine would have paid).
+  double TotalSeconds() const {
+    return std::accumulate(seconds_.begin(), seconds_.end(), 0.0);
+  }
+
+  size_t num_machines() const { return seconds_.size(); }
+
+ private:
+  std::vector<double> seconds_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_DIST_LEDGER_H_

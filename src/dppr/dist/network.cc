@@ -1,0 +1,15 @@
+#include "dppr/dist/network.h"
+
+namespace dppr {
+
+double NetworkModel::TransferSeconds(size_t bytes) const {
+  return latency_seconds + static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+}
+
+NetworkModel NetworkModel::Lan100Mbit() { return NetworkModel{}; }
+
+NetworkModel NetworkModel::Lan1Gbit() { return NetworkModel{125e6, 2e-4}; }
+
+NetworkModel NetworkModel::Datacenter() { return NetworkModel{5e9, 2e-5}; }
+
+}  // namespace dppr

@@ -1,0 +1,58 @@
+#ifndef DPPR_DIST_NETWORK_H_
+#define DPPR_DIST_NETWORK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dppr {
+
+/// Cost model for one machine↔coordinator link. The experiments in the paper
+/// run on a cluster connected by a 100 Mbit switch (§6.1), so that is the
+/// default; the presets let benches ask "what if the cluster were faster".
+/// All simulated-latency numbers in this repo flow through TransferSeconds.
+struct NetworkModel {
+  /// Payload throughput of one link. 100 Mbit/s = 12.5 MB/s.
+  double bandwidth_bytes_per_sec = 12.5e6;
+  /// Fixed per-message cost (propagation + switch + protocol overhead).
+  double latency_seconds = 1e-3;
+
+  /// Modeled time to move one `bytes`-sized message across the link.
+  double TransferSeconds(size_t bytes) const;
+
+  /// The paper's evaluation cluster: 100 Mbit LAN (identical to a
+  /// default-constructed model; named for call-site readability).
+  static NetworkModel Lan100Mbit();
+
+  /// Commodity gigabit switch.
+  static NetworkModel Lan1Gbit();
+
+  /// Modern datacenter fabric (~40 Gbit, tens of microseconds latency).
+  static NetworkModel Datacenter();
+};
+
+/// Message/byte counters for one direction of traffic. The paper reports
+/// "bytes received by the coordinator" as its communication-cost metric.
+struct CommStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+
+  void Record(size_t message_bytes) {
+    ++messages;
+    bytes += message_bytes;
+  }
+
+  CommStats& operator+=(const CommStats& other) {
+    messages += other.messages;
+    bytes += other.bytes;
+    return *this;
+  }
+
+  double kilobytes() const { return static_cast<double>(bytes) / 1024.0; }
+  double megabytes() const {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+  }
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_DIST_NETWORK_H_

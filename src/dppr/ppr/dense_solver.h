@@ -1,6 +1,8 @@
 #ifndef DPPR_PPR_DENSE_SOLVER_H_
 #define DPPR_PPR_DENSE_SOLVER_H_
 
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "dppr/common/macros.h"
@@ -20,10 +22,11 @@ std::vector<double> SolveDenseLinearSystem(std::vector<double> a,
 /// Intended for graphs with at most a few thousand nodes; the exactness test
 /// oracle for every other engine in the library.
 template <typename GraphView>
-std::vector<double> ExactPpvDense(const GraphView& graph, NodeId query,
-                                  const PprOptions& options = {}) {
+std::vector<double> ExactPpvDense(
+    const GraphView& graph,
+    std::span<const std::pair<NodeId, double>> preferences,
+    const PprOptions& options = {}) {
   const size_t n = graph.num_nodes();
-  DPPR_CHECK_LT(query, n);
   DPPR_CHECK_LE(n, size_t{4096});  // O(n^3) oracle; keep inputs small
   const double alpha = options.alpha;
 
@@ -37,8 +40,18 @@ std::vector<double> ExactPpvDense(const GraphView& graph, NodeId query,
     for (NodeId v : graph.OutNeighbors(u)) a[static_cast<size_t>(v) * n + u] -= w;
   }
   std::vector<double> b(n, 0.0);
-  b[query] = alpha;
+  for (const auto& [node, weight] : preferences) {
+    DPPR_CHECK_LT(node, n);
+    b[node] += alpha * weight;
+  }
   return SolveDenseLinearSystem(std::move(a), std::move(b));
+}
+
+template <typename GraphView>
+std::vector<double> ExactPpvDense(const GraphView& graph, NodeId query,
+                                  const PprOptions& options = {}) {
+  const std::pair<NodeId, double> single{query, 1.0};
+  return ExactPpvDense(graph, std::span(&single, 1), options);
 }
 
 }  // namespace dppr

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "dppr/dist/cluster.h"
+#include "dppr/dist/network.h"
+
+namespace dppr {
+namespace {
+
+// A deterministic machine task with a payload that depends only on the
+// machine index (so any run order must yield the same bytes).
+std::vector<uint8_t> DeterministicPayload(size_t machine) {
+  std::vector<uint8_t> payload((machine * 7) % 13 + 1);
+  std::iota(payload.begin(), payload.end(), static_cast<uint8_t>(machine));
+  return payload;
+}
+
+TEST(SimClusterDeterminism, SequentialModeIsByteIdenticalAcrossRuns) {
+  SimCluster cluster(17, NetworkModel{}, /*sequential=*/true);
+  ASSERT_TRUE(cluster.sequential());
+  auto first = cluster.RunRound(DeterministicPayload);
+  auto second = cluster.RunRound(DeterministicPayload);
+  EXPECT_EQ(first.payloads, second.payloads);
+  EXPECT_EQ(first.metrics.to_coordinator.messages,
+            second.metrics.to_coordinator.messages);
+  EXPECT_EQ(first.metrics.to_coordinator.bytes,
+            second.metrics.to_coordinator.bytes);
+}
+
+TEST(SimClusterDeterminism, ParallelModeMatchesSequentialPayloads) {
+  // Payload slots are indexed by machine, so scheduling (however many pool
+  // threads run the round) must not change the gathered bytes or CommStats.
+  SimCluster sequential(23, NetworkModel{}, /*sequential=*/true);
+  SimCluster parallel(23, NetworkModel{}, /*sequential=*/false);
+  auto seq = sequential.RunRound(DeterministicPayload);
+  auto par = parallel.RunRound(DeterministicPayload);
+  EXPECT_EQ(seq.payloads, par.payloads);
+  EXPECT_EQ(seq.metrics.to_coordinator.messages,
+            par.metrics.to_coordinator.messages);
+  EXPECT_EQ(seq.metrics.to_coordinator.bytes,
+            par.metrics.to_coordinator.bytes);
+}
+
+TEST(SimClusterDeterminism, SequentialModeAdmitsSharedMutableState) {
+  // Tasks that append to shared state observe machine order 0..n-1.
+  SimCluster cluster(8, NetworkModel{}, /*sequential=*/true);
+  std::vector<size_t> order;
+  cluster.RunRound([&](size_t machine) {
+    order.push_back(machine);
+    return std::vector<uint8_t>{static_cast<uint8_t>(machine)};
+  });
+  std::vector<size_t> expected(8);
+  std::iota(expected.begin(), expected.end(), size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SimClusterDeterminism, MultiRoundStatsAccumulateAcrossRounds) {
+  SimCluster cluster(4, NetworkModel{}, /*sequential=*/true);
+  MultiRoundStats stats;
+  size_t reduced_payloads = 0;
+  for (int round = 0; round < 3; ++round) {
+    cluster.RunRound(
+        DeterministicPayload,
+        [&](SimCluster::RoundResult& r) { reduced_payloads += r.payloads.size(); },
+        &stats);
+  }
+  EXPECT_EQ(stats.rounds, 3u);
+  EXPECT_EQ(stats.comm.messages, 12u);
+  EXPECT_EQ(reduced_payloads, 12u);
+  auto one = cluster.RunRound(DeterministicPayload);
+  EXPECT_EQ(stats.comm.bytes, 3 * one.metrics.to_coordinator.bytes);
+  // Each round pays at least one latency per message, and the timed reduce
+  // callback lands in coordinator_seconds.
+  EXPECT_GE(stats.simulated_seconds,
+            12 * cluster.network().latency_seconds);
+  EXPECT_GE(stats.coordinator_seconds, 0.0);
+  EXPECT_GE(stats.simulated_seconds, stats.coordinator_seconds);
+}
+
+TEST(SimClusterDeterminism, SetSequentialToggles) {
+  SimCluster cluster(3);
+  EXPECT_FALSE(cluster.sequential());
+  cluster.set_sequential(true);
+  EXPECT_TRUE(cluster.sequential());
+  auto result = cluster.RunRound(DeterministicPayload);
+  EXPECT_EQ(result.payloads.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dppr

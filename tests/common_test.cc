@@ -161,7 +161,7 @@ TEST(Timer, MeasuresElapsedTime) {
   double first = timer.ElapsedSeconds();
   EXPECT_GE(first, 0.0);
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(timer.ElapsedSeconds(), first);
 }
 

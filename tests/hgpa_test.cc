@@ -190,6 +190,24 @@ TEST(Hgpa, PreferenceSetQueryIsLinearCombination) {
   EXPECT_LT(LInfNorm(got, oracle), 1e-6);
 }
 
+TEST(Hgpa, PreferenceSetMatchesDenseSolverWeightedTeleport) {
+  // Stronger oracle than combining single-node solves: solve the Eq. 1
+  // system (I - (1-α) Pᵀ) r = α w directly for the weighted teleport
+  // vector w and compare against the one-round distributed answer.
+  Graph g = PaperFigure3Graph();
+  auto pre = HgpaPrecomputation::RunHgpa(g, TightOptions());
+  HgpaQueryEngine engine(HgpaIndex::Distribute(pre, 3));
+
+  std::vector<HgpaQueryEngine::Preference> prefs{{0, 0.6}, {3, 0.3}, {5, 0.1}};
+  std::vector<double> got(g.num_nodes(), 0.0);
+  engine.QueryPreferenceSet(prefs).AddScaledTo(got, 1.0);
+
+  std::vector<std::pair<NodeId, double>> teleport;
+  for (const auto& p : prefs) teleport.emplace_back(p.node, p.weight);
+  std::vector<double> oracle = ExactPpvDense(g, teleport, TightOptions().ppr);
+  EXPECT_LT(LInfNorm(got, oracle), 1e-7);
+}
+
 TEST(Hgpa, PreferenceSetWithZeroAndDuplicateWeights) {
   Graph g = RandomDigraph(60, 3.0, 11);
   auto pre = HgpaPrecomputation::RunHgpa(g, TightOptions());
