@@ -1,0 +1,83 @@
+// Serving throughput: N client threads × M queries against ONE shared
+// engine through the QueryServer admission batcher. Not a paper figure —
+// the paper measures single-query latency — but the regime the ROADMAP
+// targets: sustained concurrent traffic. Rows sweep client threads (and one
+// unbatched row for contrast); counters report QPS, p50/p95 latency, mean
+// realized batch, and coordinator bytes per query.
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "dppr/serve/query_server.h"
+
+namespace {
+
+using namespace dppr;
+using namespace dppr::bench;
+
+constexpr double kWebScale = 0.3;
+constexpr size_t kMachines = 6;
+constexpr size_t kQueriesPerClient = 40;
+
+std::shared_ptr<const HgpaPrecomputation> SharedPrecomputation() {
+  // The precomputation keeps a pointer to its graph, so the graph lives on
+  // the heap next to it for the whole process.
+  static auto holder = [] {
+    auto graph = std::make_shared<Graph>(LoadDataset("web", kWebScale));
+    auto pre = HgpaPrecomputation::RunHgpa(*graph, HgpaOptions{});
+    return std::pair{graph, pre};
+  }();
+  return holder.second;
+}
+
+Counters MeasureServing(size_t clients, size_t max_batch) {
+  auto pre = SharedPrecomputation();
+  HgpaQueryEngine engine(HgpaIndex::Distribute(pre, kMachines));
+  ServeOptions options;
+  options.max_batch = max_batch;
+  QueryServer server(std::move(engine), options);
+
+  std::vector<NodeId> nodes =
+      SampleQueries(pre->graph(), clients * kQueriesPerClient);
+  server.ResetStats();
+  std::vector<std::thread> workers;
+  for (size_t c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      for (size_t i = 0; i < kQueriesPerClient; ++i) {
+        server.Query(nodes[c * kQueriesPerClient + i]);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  ServerStats stats = server.Stats();
+
+  double per_query_kb =
+      stats.queries > 0
+          ? stats.comm.kilobytes() / static_cast<double>(stats.queries)
+          : 0.0;
+  return {
+      {"qps", stats.qps},
+      {"p50_ms", stats.p50_latency_ms},
+      {"p95_ms", stats.p95_latency_ms},
+      {"mean_batch", stats.mean_batch},
+      {"rounds", static_cast<double>(stats.rounds)},
+      {"comm_kb_per_query", per_query_kb},
+  };
+}
+
+void RegisterRows() {
+  for (size_t clients : {1, 2, 4, 8}) {
+    AddRow("serving/web/clients=" + std::to_string(clients),
+           [clients] { return MeasureServing(clients, 16); });
+  }
+  // Batching off: every request pays its own round — the contrast row that
+  // shows what the admission batcher buys under the same 8-client load.
+  AddRow("serving/web/clients=8/unbatched",
+         [] { return MeasureServing(8, 1); });
+}
+
+}  // namespace
+
+DPPR_BENCH_MAIN(RegisterRows)

@@ -56,7 +56,7 @@ class ByteReader {
       : ByteReader(buf.data(), buf.size()) {}
 
   uint8_t GetU8() {
-    DPPR_CHECK_LE(pos_ + 1, size_);
+    DPPR_CHECK_LT(pos_, size_);
     return data_[pos_++];
   }
   uint32_t GetU32() { return GetRaw<uint32_t>(); }
@@ -79,10 +79,12 @@ class ByteReader {
   }
 
   std::string GetString() {
-    size_t n = GetVarU64();
-    DPPR_CHECK_LE(pos_ + n, size_);
-    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
-    pos_ += n;
+    uint64_t n = GetVarU64();
+    // Compare against the remaining bytes: `pos_ + n` wraps for hostile
+    // lengths near SIZE_MAX and would pass the check into an OOB read.
+    DPPR_CHECK_LE(n, static_cast<uint64_t>(size_ - pos_));
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
     return s;
   }
 
@@ -92,7 +94,7 @@ class ByteReader {
  private:
   template <typename T>
   T GetRaw() {
-    DPPR_CHECK_LE(pos_ + sizeof(T), size_);
+    DPPR_CHECK_LE(sizeof(T), size_ - pos_);
     T v;
     std::memcpy(&v, data_ + pos_, sizeof(T));
     pos_ += sizeof(T);

@@ -4,6 +4,10 @@
 #include <chrono>
 #include <cstdint>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#endif
+
 namespace dppr {
 
 /// Monotonic wall-clock timer with millisecond/second helpers.
@@ -24,6 +28,45 @@ class WallTimer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Per-thread CPU-time timer (CLOCK_THREAD_CPUTIME_ID). Unlike WallTimer it
+/// does not charge time the thread spent descheduled, so simulated machines
+/// contending for physical cores — e.g. many concurrent query rounds — don't
+/// inflate each other's measured compute. Falls back to wall time on
+/// platforms without a per-thread CPU clock (see Available()).
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { Restart(); }
+
+  void Restart() { start_ = Now(); }
+
+  /// CPU seconds this thread consumed since construction or last Restart().
+  double ElapsedSeconds() const { return Now() - start_; }
+
+  /// True when the platform exposes a per-thread CPU clock.
+  static bool Available() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    return true;
+#else
+    return false;
+#endif
+  }
+
+ private:
+  static double Now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+#endif
+  }
+
+  double start_;
 };
 
 /// Accumulates elapsed time across multiple start/stop intervals; used to

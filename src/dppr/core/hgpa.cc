@@ -91,12 +91,26 @@ HgpaQueryEngine::HgpaQueryEngine(HgpaIndex index, NetworkModel network)
     : index_(std::move(index)), cluster_(index_.num_machines(), network) {}
 
 std::vector<uint8_t> HgpaQueryEngine::MachineTask(
-    size_t machine, std::span<const Preference> preferences) const {
+    size_t machine, std::span<const std::span<const Preference>> queries) const {
+  // One accumulator reused across the batch (Clear is O(touched)); the
+  // payload concatenates one serialized fragment per query, in query order.
+  DenseAccumulator acc(index_.hierarchy().num_nodes());
+  ByteWriter writer;
+  for (std::span<const Preference> preferences : queries) {
+    AccumulateQuery(machine, preferences, acc);
+    acc.ToSparse().SerializeTo(writer);
+    acc.Clear();
+  }
+  return writer.Release();
+}
+
+void HgpaQueryEngine::AccumulateQuery(size_t machine,
+                                      std::span<const Preference> preferences,
+                                      DenseAccumulator& acc) const {
   const Hierarchy& hierarchy = index_.hierarchy();
   const PpvStore& store = index_.store(machine);
   const double alpha = index_.options().ppr.alpha;
 
-  DenseAccumulator acc(hierarchy.num_nodes());
   const auto& my_hubs = index_.hubs_on_machine(machine);
 
   for (const Preference& pref : preferences) {
@@ -144,40 +158,70 @@ std::vector<uint8_t> HgpaQueryEngine::MachineTask(
       acc.AddVector(*own, query_weight);
     }
   }
-
-  ByteWriter writer;
-  acc.ToSparse().SerializeTo(writer);
-  return writer.Release();
 }
 
-SparseVector HgpaQueryEngine::RunDistributed(
-    std::span<const Preference> preferences, QueryMetrics* metrics) const {
+std::vector<SparseVector> HgpaQueryEngine::RunDistributed(
+    std::span<const std::span<const Preference>> queries,
+    std::vector<QueryMetrics>* per_query_metrics,
+    QueryMetrics* round_metrics) const {
+  const size_t num_queries = queries.size();
+  std::vector<SparseVector> results(num_queries);
+  if (num_queries == 0) {
+    // Still honor the metrics contract, so callers reusing out-params don't
+    // read a previous round's numbers.
+    if (round_metrics != nullptr) *round_metrics = QueryMetrics{};
+    if (per_query_metrics != nullptr) per_query_metrics->clear();
+    return results;
+  }
+
   SimCluster::RoundResult round = cluster_.RunRound(
-      [&](size_t machine) { return MachineTask(machine, preferences); });
+      [&](size_t machine) { return MachineTask(machine, queries); });
 
   WallTimer coordinator_timer;
-  DenseAccumulator acc(index_.graph().num_nodes());
+  // Split every machine payload back into its per-query fragments; fragment
+  // boundaries also yield each query's own share of the round's traffic.
+  std::vector<std::vector<SparseVector>> fragments(num_queries);
+  std::vector<CommStats> per_query_comm(num_queries);
   for (const auto& payload : round.payloads) {
     ByteReader reader(payload.data(), payload.size());
-    SparseVector fragment = SparseVector::Deserialize(reader);
-    acc.AddVector(fragment, 1.0);
+    for (size_t q = 0; q < num_queries; ++q) {
+      size_t before = reader.remaining();
+      fragments[q].push_back(SparseVector::Deserialize(reader));
+      per_query_comm[q].Record(before - reader.remaining());
+    }
+    DPPR_CHECK(reader.AtEnd());
   }
-  SparseVector ppv = acc.ToSparse();
+  // Reduce each query over its fragments in machine order, so the result is
+  // bit-identical to the single-query path regardless of batch composition.
+  DenseAccumulator acc(index_.graph().num_nodes());
+  for (size_t q = 0; q < num_queries; ++q) {
+    for (const SparseVector& fragment : fragments[q]) acc.AddVector(fragment, 1.0);
+    results[q] = acc.ToSparse();
+    acc.Clear();
+  }
   round.metrics.coordinator_seconds = coordinator_timer.ElapsedSeconds();
 
-  if (metrics != nullptr) {
-    metrics->max_machine_seconds = round.metrics.MaxMachineSeconds();
-    metrics->coordinator_seconds = round.metrics.coordinator_seconds;
-    metrics->simulated_seconds = round.metrics.SimulatedSeconds(cluster_.network());
-    metrics->comm = round.metrics.to_coordinator;
+  QueryMetrics shared;
+  shared.max_machine_seconds = round.metrics.MaxMachineSeconds();
+  shared.coordinator_seconds = round.metrics.coordinator_seconds;
+  shared.simulated_seconds = round.metrics.SimulatedSeconds(cluster_.network());
+  shared.comm = round.metrics.to_coordinator;
+  if (round_metrics != nullptr) *round_metrics = shared;
+  if (per_query_metrics != nullptr) {
+    per_query_metrics->assign(num_queries, shared);
+    for (size_t q = 0; q < num_queries; ++q) {
+      (*per_query_metrics)[q].comm = per_query_comm[q];
+    }
   }
-  return ppv;
+  return results;
 }
 
 SparseVector HgpaQueryEngine::Query(NodeId query, QueryMetrics* metrics) const {
   DPPR_CHECK_LT(query, index_.graph().num_nodes());
   Preference single{query, 1.0};
-  return RunDistributed({&single, 1}, metrics);
+  std::span<const Preference> preferences{&single, 1};
+  return std::move(
+      RunDistributed({&preferences, 1}, nullptr, metrics).front());
 }
 
 SparseVector HgpaQueryEngine::QueryPreferenceSet(
@@ -185,7 +229,23 @@ SparseVector HgpaQueryEngine::QueryPreferenceSet(
   for (const Preference& p : preferences) {
     DPPR_CHECK_LT(p.node, index_.graph().num_nodes());
   }
-  return RunDistributed(preferences, metrics);
+  return std::move(
+      RunDistributed({&preferences, 1}, nullptr, metrics).front());
+}
+
+std::vector<SparseVector> HgpaQueryEngine::QueryPreferenceSetMany(
+    std::span<const std::vector<Preference>> queries,
+    std::vector<QueryMetrics>* per_query_metrics,
+    QueryMetrics* round_metrics) const {
+  std::vector<std::span<const Preference>> spans;
+  spans.reserve(queries.size());
+  for (const std::vector<Preference>& prefs : queries) {
+    for (const Preference& p : prefs) {
+      DPPR_CHECK_LT(p.node, index_.graph().num_nodes());
+    }
+    spans.emplace_back(prefs);
+  }
+  return RunDistributed(spans, per_query_metrics, round_metrics);
 }
 
 std::vector<double> HgpaQueryEngine::QueryDense(NodeId query,

@@ -2,12 +2,14 @@
 #define DPPR_CORE_HGPA_H_
 
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "dppr/core/ppv_store.h"
 #include "dppr/core/precompute.h"
 #include "dppr/dist/cluster.h"
+#include "dppr/ppr/sparse_vector.h"
 
 namespace dppr {
 
@@ -82,12 +84,25 @@ struct QueryMetrics {
 /// the contributions of its hubs along the query node's subgraph chain into
 /// one vector and ships it to the coordinator exactly once; the coordinator
 /// sums the n replies.
+///
+/// All query methods are const and safe to call from many threads at once on
+/// one shared engine (every round's state is call-local; the underlying
+/// SimCluster and ThreadPool support concurrent rounds). Results and each
+/// query's fragment traffic are deterministic regardless of interleaving.
+/// set_machine_timer is configuration-time only.
 class HgpaQueryEngine {
  public:
   /// Takes the index by value: an index is a cheap handle (vector stores
   /// reference the shared precomputation), and owning it keeps the engine
   /// safe to build from temporaries.
   explicit HgpaQueryEngine(HgpaIndex index, NetworkModel network = {});
+
+  /// Switches how machine compute time is measured (see SimCluster::TimerKind;
+  /// the serving layer uses kThreadCpu so concurrent rounds don't inflate
+  /// each other's machine_seconds). Call before serving traffic.
+  void set_machine_timer(SimCluster::TimerKind timer) {
+    cluster_.set_timer(timer);
+  }
 
   /// Exact PPV of `query` (to the index tolerance), with optional metrics.
   SparseVector Query(NodeId query, QueryMetrics* metrics = nullptr) const;
@@ -109,14 +124,37 @@ class HgpaQueryEngine {
   SparseVector QueryPreferenceSet(std::span<const Preference> preferences,
                                   QueryMetrics* metrics = nullptr) const;
 
+  /// Batched form: answers every query in `queries` in ONE communication
+  /// round. Each machine ships one payload holding one PPV fragment per
+  /// query, so an admission batch of b queries still costs one message per
+  /// machine (b·n fewer latency charges than b single rounds pay). Results —
+  /// and each query's own fragment bytes — are bit-identical to issuing the
+  /// queries one at a time.
+  ///
+  /// `per_query_metrics` (resized to queries.size() when non-null) reports
+  /// per query: comm = that query's own fragments (messages = one per
+  /// machine), while the compute/latency fields carry the shared round's
+  /// costs (the whole batch waits for the round). `round_metrics` reports
+  /// the round once: comm = whole payloads.
+  std::vector<SparseVector> QueryPreferenceSetMany(
+      std::span<const std::vector<Preference>> queries,
+      std::vector<QueryMetrics>* per_query_metrics = nullptr,
+      QueryMetrics* round_metrics = nullptr) const;
+
   const HgpaIndex& index() const { return index_; }
 
  private:
-  std::vector<uint8_t> MachineTask(size_t machine,
-                                   std::span<const Preference> preferences) const;
+  std::vector<uint8_t> MachineTask(
+      size_t machine,
+      std::span<const std::span<const Preference>> queries) const;
 
-  SparseVector RunDistributed(std::span<const Preference> preferences,
-                              QueryMetrics* metrics) const;
+  void AccumulateQuery(size_t machine, std::span<const Preference> preferences,
+                       DenseAccumulator& acc) const;
+
+  std::vector<SparseVector> RunDistributed(
+      std::span<const std::span<const Preference>> queries,
+      std::vector<QueryMetrics>* per_query_metrics,
+      QueryMetrics* round_metrics) const;
 
   HgpaIndex index_;
   SimCluster cluster_;

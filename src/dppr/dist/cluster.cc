@@ -47,9 +47,15 @@ SimCluster::RoundResult SimCluster::RunRound(const MachineTask& task) const {
   result.metrics.machine_seconds.assign(num_machines_, 0.0);
 
   auto run_machine = [&](size_t machine) {
-    WallTimer timer;
-    result.payloads[machine] = task(machine);
-    result.metrics.machine_seconds[machine] = timer.ElapsedSeconds();
+    if (timer_ == TimerKind::kThreadCpu) {
+      ThreadCpuTimer timer;
+      result.payloads[machine] = task(machine);
+      result.metrics.machine_seconds[machine] = timer.ElapsedSeconds();
+    } else {
+      WallTimer timer;
+      result.payloads[machine] = task(machine);
+      result.metrics.machine_seconds[machine] = timer.ElapsedSeconds();
+    }
   };
 
   if (sequential_ || num_machines_ == 1) {

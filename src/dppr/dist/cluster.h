@@ -49,6 +49,16 @@ struct MultiRoundStats {
 /// (tasks only time their own work, so n may far exceed the physical core
 /// count), gathers each machine's serialized payload as if sent to the
 /// coordinator, and reports measured compute plus modeled network cost.
+///
+/// Threading contract: RunRound is safe to call from many threads at once on
+/// one SimCluster, and from inside another round's machine task. All
+/// per-round state (payloads, metrics, timers) is local to the call, and the
+/// shared ThreadPool scopes each round's machine tasks to a per-call task
+/// group — the pool's earlier single global in-flight counter made one
+/// round's Wait block on every other round's tasks and deadlocked nested
+/// rounds outright, which is why ThreadPool was redesigned around TaskGroup
+/// (see thread_pool.h). The setters (set_sequential, set_timer) are
+/// configuration-time only: don't flip them concurrently with RunRound.
 class SimCluster {
  public:
   /// Machine task: given the machine index, returns the payload that machine
@@ -60,6 +70,14 @@ class SimCluster {
     std::vector<std::vector<uint8_t>> payloads;
     RoundMetrics metrics;
   };
+
+  /// What a machine's measured compute time charges. kWallClock matches the
+  /// paper's single-query-at-a-time experiments; kThreadCpu charges only CPU
+  /// actually consumed (CLOCK_THREAD_CPUTIME_ID), so machine_seconds stays
+  /// honest when concurrent rounds contend for the same physical cores — the
+  /// serving layer's regime. Wall time is the default because it also counts
+  /// involuntary preemption, which a dedicated real cluster would not suffer.
+  enum class TimerKind { kWallClock, kThreadCpu };
 
   /// `sequential` runs machine tasks in machine order on the calling thread:
   /// fully deterministic (no scheduler interleaving), at the price of wall
@@ -73,6 +91,8 @@ class SimCluster {
   const NetworkModel& network() const { return network_; }
   bool sequential() const { return sequential_; }
   void set_sequential(bool sequential) { sequential_ = sequential; }
+  TimerKind timer() const { return timer_; }
+  void set_timer(TimerKind timer) { timer_ = timer; }
 
   /// Runs one round: `task(m)` for every machine m, each timed individually.
   /// The returned metrics have machine_seconds and to_coordinator filled;
@@ -91,6 +111,7 @@ class SimCluster {
   size_t num_machines_;
   NetworkModel network_;
   bool sequential_;
+  TimerKind timer_ = TimerKind::kWallClock;
 };
 
 }  // namespace dppr

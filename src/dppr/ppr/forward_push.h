@@ -1,6 +1,7 @@
 #ifndef DPPR_PPR_FORWARD_PUSH_H_
 #define DPPR_PPR_FORWARD_PUSH_H_
 
+#include <cmath>
 #include <deque>
 #include <span>
 #include <vector>
@@ -102,8 +103,10 @@ class ForwardPusher {
       // Tours ending at a blocked node are valid (endpoint exemption): the
       // parked arrival mass is absorbed at rate α into the reserve.
       double value = reserve_[v] + alpha * parked;
-      if (value > prune_below) reserve_entries.push_back({v, value});
-      if (parked > prune_below) parked_entries.push_back({v, parked});
+      // |value| > threshold, matching SparseVector::FromDense / Pruned (push
+      // values are non-negative, so abs only unifies the semantics).
+      if (std::abs(value) > prune_below) reserve_entries.push_back({v, value});
+      if (std::abs(parked) > prune_below) parked_entries.push_back({v, parked});
       reserve_[v] = 0.0;
       residual_[v] = 0.0;
     }

@@ -12,12 +12,18 @@ SparseVector SparseVector::FromEntries(std::vector<Entry> entries) {
             [](const Entry& a, const Entry& b) { return a.index < b.index; });
   SparseVector v;
   v.entries_.reserve(entries.size());
-  for (const Entry& e : entries) {
-    if (!v.entries_.empty() && v.entries_.back().index == e.index) {
-      v.entries_.back().value += e.value;
-    } else {
-      v.entries_.push_back(e);
+  size_t i = 0;
+  while (i < entries.size()) {
+    NodeId index = entries[i].index;
+    double sum = 0.0;
+    for (; i < entries.size() && entries[i].index == index; ++i) {
+      sum += entries[i].value;
     }
+    // Duplicates that cancel to exactly 0.0 (and explicit zero entries) are
+    // dropped: a stored zero inflates SerializedBytes, the paper's
+    // coordinator-bytes comm metric. Same |value| > threshold semantics as
+    // FromDense / Pruned at threshold 0.
+    if (std::abs(sum) > 0.0) v.entries_.push_back({index, sum});
   }
   return v;
 }
@@ -74,6 +80,10 @@ void SparseVector::SerializeTo(ByteWriter& writer) const {
 
 SparseVector SparseVector::Deserialize(ByteReader& reader) {
   size_t count = reader.GetVarU64();
+  // Every entry needs at least one varint byte plus a double, so a count
+  // beyond remaining()/9 is corrupt; checking up front keeps a hostile count
+  // from driving a huge reserve() before the per-entry reads would fail.
+  DPPR_CHECK_LE(count, reader.remaining() / 9);
   SparseVector v;
   v.entries_.reserve(count);
   NodeId prev = 0;

@@ -1,0 +1,150 @@
+#include "dppr/serve/query_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "dppr/common/macros.h"
+
+namespace dppr {
+
+QueryServer::QueryServer(HgpaQueryEngine engine, ServeOptions options)
+    : engine_(std::move(engine)), options_(options) {
+  DPPR_CHECK_GE(options_.max_batch, 1u);
+  if (options_.thread_cpu_timer) {
+    engine_.set_machine_timer(SimCluster::TimerKind::kThreadCpu);
+  }
+}
+
+QueryServer::Response QueryServer::Query(NodeId node) {
+  return Submit({{node, 1.0}});
+}
+
+QueryServer::Response QueryServer::QueryPreferenceSet(
+    std::vector<Preference> preferences) {
+  return Submit(std::move(preferences));
+}
+
+QueryServer::TopKResponse QueryServer::QueryTopK(NodeId node, size_t k) {
+  Response full = Query(node);
+  std::vector<SparseVector::Entry> entries(full.ppv.entries().begin(),
+                                           full.ppv.entries().end());
+  size_t keep = std::min(k, entries.size());
+  std::partial_sort(entries.begin(), entries.begin() + keep, entries.end(),
+                    [](const SparseVector::Entry& a, const SparseVector::Entry& b) {
+                      if (a.value != b.value) return a.value > b.value;
+                      return a.index < b.index;
+                    });
+  entries.resize(keep);
+  return TopKResponse{std::move(entries), full.metrics, full.latency_seconds};
+}
+
+QueryServer::Response QueryServer::Submit(std::vector<Preference> preferences) {
+  Request request;
+  request.preferences = std::move(preferences);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  request.admitted.Restart();
+  pending_.push_back(&request);
+  while (!request.done) {
+    if (!leader_active_) {
+      // Combining leader: serve FIFO batches until our own request is done,
+      // then hand leadership to a still-waiting thread. Leading only to our
+      // own completion (not until the queue drains) keeps every caller's
+      // latency bounded under sustained load — a drain-to-empty leader never
+      // returns while new requests keep arriving.
+      leader_active_ = true;
+      while (!request.done) RunOneBatch(lock);
+      leader_active_ = false;
+      if (!pending_.empty()) done_cv_.notify_all();
+    } else {
+      done_cv_.wait(lock, [&] { return request.done || !leader_active_; });
+    }
+  }
+  return Response{std::move(request.result), request.metrics,
+                  request.latency_seconds};
+}
+
+void QueryServer::RunOneBatch(std::unique_lock<std::mutex>& lock) {
+  // The leader only loops while its own request is unanswered, and that
+  // request sits in pending_ until the batch that answers it.
+  DPPR_CHECK(!pending_.empty());
+  size_t take = std::min(options_.max_batch, pending_.size());
+  std::vector<Request*> batch(pending_.begin(), pending_.begin() + take);
+  pending_.erase(pending_.begin(), pending_.begin() + take);
+
+  std::vector<std::vector<Preference>> queries;
+  queries.reserve(take);
+  // Moved, not copied: the request only needs its result from here on.
+  for (Request* request : batch) queries.push_back(std::move(request->preferences));
+
+  lock.unlock();
+  std::vector<QueryMetrics> per_query;
+  QueryMetrics round;
+  std::vector<SparseVector> ppvs =
+      engine_.QueryPreferenceSetMany(queries, &per_query, &round);
+  lock.lock();
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Request* request = batch[i];
+    request->result = std::move(ppvs[i]);
+    request->metrics = per_query[i];
+    request->latency_seconds = request->admitted.ElapsedSeconds();
+    request->done = true;
+    if (latencies_seconds_.size() < kLatencyWindow) {
+      latencies_seconds_.push_back(request->latency_seconds);
+    } else {
+      latencies_seconds_[latency_cursor_] = request->latency_seconds;
+      latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
+    }
+  }
+  queries_ += take;
+  ++rounds_;
+  comm_ += round.comm;
+  done_cv_.notify_all();
+}
+
+namespace {
+
+double PercentileMs(std::vector<double>& seconds_scratch, double fraction) {
+  if (seconds_scratch.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(fraction * static_cast<double>(seconds_scratch.size())));
+  rank = std::min(std::max<size_t>(rank, 1), seconds_scratch.size()) - 1;
+  std::nth_element(seconds_scratch.begin(), seconds_scratch.begin() + rank,
+                   seconds_scratch.end());
+  return seconds_scratch[rank] * 1e3;
+}
+
+}  // namespace
+
+ServerStats QueryServer::Stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  ServerStats stats;
+  stats.queries = queries_;
+  stats.rounds = rounds_;
+  stats.wall_seconds = window_.ElapsedSeconds();
+  stats.qps = stats.wall_seconds > 0.0
+                  ? static_cast<double>(queries_) / stats.wall_seconds
+                  : 0.0;
+  stats.mean_batch = rounds_ > 0
+                         ? static_cast<double>(queries_) / static_cast<double>(rounds_)
+                         : 0.0;
+  std::vector<double> scratch = latencies_seconds_;  // one copy for both
+  stats.p50_latency_ms = PercentileMs(scratch, 0.50);
+  stats.p95_latency_ms = PercentileMs(scratch, 0.95);
+  stats.comm = comm_;
+  return stats;
+}
+
+void QueryServer::ResetStats() {
+  std::unique_lock<std::mutex> lock(mu_);
+  queries_ = 0;
+  rounds_ = 0;
+  comm_ = CommStats{};
+  latencies_seconds_.clear();
+  latency_cursor_ = 0;
+  window_.Restart();
+}
+
+}  // namespace dppr

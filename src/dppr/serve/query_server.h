@@ -1,0 +1,144 @@
+#ifndef DPPR_SERVE_QUERY_SERVER_H_
+#define DPPR_SERVE_QUERY_SERVER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "dppr/common/timer.h"
+#include "dppr/core/hgpa.h"
+
+namespace dppr {
+
+/// Serving configuration.
+struct ServeOptions {
+  /// Upper bound on queries folded into one cluster round. 1 disables
+  /// batching: every request pays its own round (and its own per-machine
+  /// message latency).
+  size_t max_batch = 16;
+  /// Charge machine compute in per-thread CPU time instead of wall time, so
+  /// concurrent rounds contending for cores don't inflate each other's
+  /// machine_seconds (SimCluster::TimerKind::kThreadCpu).
+  bool thread_cpu_timer = true;
+};
+
+/// Aggregate serving statistics since construction or the last ResetStats().
+struct ServerStats {
+  uint64_t queries = 0;
+  /// Cluster rounds run; queries/rounds is the realized mean batch size.
+  uint64_t rounds = 0;
+  /// Observation window (wall time since construction / ResetStats).
+  double wall_seconds = 0.0;
+  /// queries / wall_seconds.
+  double qps = 0.0;
+  double mean_batch = 0.0;
+  /// Request latency percentiles in milliseconds: admission to completion,
+  /// so queueing and batching delay are included. Computed over the most
+  /// recent QueryServer::kLatencyWindow requests (bounded memory on a
+  /// long-running server).
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  /// Coordinator ingress across all rounds (bytes shipped).
+  CommStats comm;
+};
+
+/// Concurrent query front-end over one shared HgpaIndex/HgpaQueryEngine.
+///
+/// Many client threads call Query / QueryPreferenceSet / QueryTopK
+/// concurrently; each call blocks until its answer is ready. Compatible
+/// in-flight requests are folded into shared SimCluster rounds: the first
+/// thread to find no round in progress becomes the batch leader, serves
+/// FIFO chunks of at most ServeOptions::max_batch through
+/// HgpaQueryEngine::QueryPreferenceSetMany (one communication round per
+/// chunk) until its own request is answered, then hands leadership to a
+/// waiting thread — so every caller's latency stays bounded under sustained
+/// load. Threads arriving while a leader is active enqueue and sleep.
+/// Answers are bit-identical to unbatched queries — batching changes only
+/// cost sharing, never results.
+class QueryServer {
+ public:
+  using Preference = HgpaQueryEngine::Preference;
+
+  /// Takes the engine by value (an engine is a cheap handle over the shared
+  /// precomputation) and owns it for the server's lifetime.
+  explicit QueryServer(HgpaQueryEngine engine, ServeOptions options = {});
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  struct Response {
+    SparseVector ppv;
+    /// Per-query view of the round that served it: comm is this query's own
+    /// fragment traffic; compute/latency fields are the shared round's.
+    QueryMetrics metrics;
+    /// Admission to completion (includes queueing + batching delay).
+    double latency_seconds = 0.0;
+  };
+
+  /// Single-node PPV.
+  Response Query(NodeId node);
+
+  /// PPV of an arbitrary Jeh–Widom preference set.
+  Response QueryPreferenceSet(std::vector<Preference> preferences);
+
+  struct TopKResponse {
+    /// The k highest-scoring (node, value) pairs, descending by value, ties
+    /// broken by node id.
+    std::vector<SparseVector::Entry> top;
+    QueryMetrics metrics;
+    double latency_seconds = 0.0;
+  };
+
+  /// Top-k nodes of `node`'s PPV (k = 0 returns the full ranking header,
+  /// i.e. an empty list).
+  TopKResponse QueryTopK(NodeId node, size_t k);
+
+  /// Snapshot of the aggregate stats; safe to call while serving.
+  ServerStats Stats() const;
+  void ResetStats();
+
+  const HgpaQueryEngine& engine() const { return engine_; }
+  const ServeOptions& options() const { return options_; }
+
+  /// Latency percentiles cover this many most-recent requests.
+  static constexpr size_t kLatencyWindow = 4096;
+
+ private:
+  struct Request {
+    std::vector<Preference> preferences;
+    SparseVector result;
+    QueryMetrics metrics;
+    double latency_seconds = 0.0;
+    bool done = false;
+    WallTimer admitted;
+  };
+
+  Response Submit(std::vector<Preference> preferences);
+  /// Leader: takes up to max_batch requests off the queue, runs one cluster
+  /// round, publishes results. `lock` is held on entry and exit.
+  void RunOneBatch(std::unique_lock<std::mutex>& lock);
+
+  HgpaQueryEngine engine_;
+  ServeOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::deque<Request*> pending_;
+  bool leader_active_ = false;
+
+  // Aggregate stats, guarded by mu_.
+  uint64_t queries_ = 0;
+  uint64_t rounds_ = 0;
+  CommStats comm_;
+  /// Ring of the last kLatencyWindow request latencies.
+  std::vector<double> latencies_seconds_;
+  size_t latency_cursor_ = 0;
+  WallTimer window_;
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_SERVE_QUERY_SERVER_H_

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "dppr/common/env.h"
 #include "dppr/common/rng.h"
@@ -124,6 +126,36 @@ TEST(Serialize, VarintIsCompactForSmallValues) {
   EXPECT_EQ(writer.size(), 3u);
 }
 
+TEST(Serialize, HostileStringLengthDiesInsteadOfWrapping) {
+  // A length near UINT64_MAX used to wrap the `pos_ + n` bounds check and
+  // pass it, turning a corrupt payload into an out-of-bounds read.
+  ByteWriter writer;
+  writer.PutVarU64(~0ull);
+  writer.PutU8('x');
+  EXPECT_DEATH(
+      {
+        ByteReader reader(writer.bytes());
+        reader.GetString();
+      },
+      "DPPR_CHECK failed");
+}
+
+TEST(Serialize, TruncatedPrimitiveDies) {
+  ByteWriter writer;
+  writer.PutU32(0xDEADBEEF);
+  EXPECT_DEATH(
+      {
+        ByteReader reader(writer.bytes().data(), 2);
+        reader.GetU32();
+      },
+      "DPPR_CHECK failed");
+}
+
+TEST(Serialize, ReadPastEndDies) {
+  ByteReader reader(nullptr, 0);
+  EXPECT_DEATH(reader.GetU8(), "DPPR_CHECK failed");
+}
+
 TEST(ThreadPool, RunsAllSubmittedTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
@@ -163,6 +195,16 @@ TEST(Timer, MeasuresElapsedTime) {
   volatile double sink = 0;
   for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(timer.ElapsedSeconds(), first);
+}
+
+TEST(ThreadCpuTimer, DoesNotChargeSleepTime) {
+  if (!ThreadCpuTimer::Available()) GTEST_SKIP() << "no per-thread CPU clock";
+  ThreadCpuTimer cpu;
+  WallTimer wall;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Wall time sees the sleep; the thread-CPU clock must not.
+  EXPECT_GE(wall.ElapsedSeconds(), 0.045);
+  EXPECT_LT(cpu.ElapsedSeconds(), 0.040);
 }
 
 TEST(StopWatch, AccumulatesIntervals) {

@@ -104,6 +104,55 @@ TEST(DenseAccumulator, AddVectorWithScale) {
   EXPECT_DOUBLE_EQ(acc.ValueAt(4), 1.0);
 }
 
+TEST(SparseVector, FromEntriesDropsEntriesThatCancelToZero) {
+  // Duplicates summing to exactly 0.0 used to survive as stored zeros,
+  // inflating SerializedBytes — the paper's coordinator-bytes comm metric.
+  SparseVector v = SparseVector::FromEntries(
+      {{2, 1.0}, {2, -1.0}, {5, 0.25}, {9, 0.0}});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.entries()[0].index, 5u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].value, 0.25);
+  EXPECT_EQ(v.SerializedBytes(),
+            SparseVector::FromEntries({{5, 0.25}}).SerializedBytes());
+}
+
+TEST(SparseVector, FromEntriesKeepsValuesThatRecoverFromZero) {
+  SparseVector v =
+      SparseVector::FromEntries({{3, 1.0}, {3, -1.0}, {3, 0.5}});
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].value, 0.5);
+}
+
+TEST(SparseVectorDeserialize, TruncatedPayloadDies) {
+  SparseVector v = SparseVector::FromEntries({{1, 0.5}, {900, -2.0}});
+  ByteWriter writer;
+  v.SerializeTo(writer);
+  std::vector<uint8_t> bytes = writer.bytes();
+  // Chop the payload mid-entry: the reader must refuse, not read OOB.
+  std::vector<uint8_t> truncated(bytes.begin(), bytes.end() - 5);
+  EXPECT_DEATH(
+      {
+        ByteReader reader(truncated.data(), truncated.size());
+        SparseVector::Deserialize(reader);
+      },
+      "DPPR_CHECK failed");
+}
+
+TEST(SparseVectorDeserialize, HostileEntryCountDies) {
+  // A corrupt header claiming ~2^60 entries must be rejected up front
+  // instead of driving a giant reserve() and a byte-by-byte crawl.
+  ByteWriter writer;
+  writer.PutVarU64(1ull << 60);
+  writer.PutVarU64(0);
+  writer.PutDouble(1.0);
+  EXPECT_DEATH(
+      {
+        ByteReader reader(writer.bytes());
+        SparseVector::Deserialize(reader);
+      },
+      "DPPR_CHECK failed");
+}
+
 TEST(DenseAccumulator, ToSparseCancellationStillListed) {
   DenseAccumulator acc(4);
   acc.Add(2, 1.0);

@@ -1,0 +1,126 @@
+#include "dppr/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace dppr {
+namespace {
+
+// Regression: ParallelFor completion used to be tracked by one global
+// in-flight counter, so two ParallelFor calls from different threads waited
+// on each other's tasks (and could return early or late). With per-call task
+// groups, each call covers exactly its own indices.
+TEST(ThreadPool, ConcurrentParallelForsFromDifferentThreads) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 500;
+  std::vector<std::atomic<int>> a(kN);
+  std::vector<std::atomic<int>> b(kN);
+  std::thread t1([&] {
+    for (int rep = 0; rep < 5; ++rep) {
+      pool.ParallelFor(kN, [&](size_t i) { a[i].fetch_add(1); });
+    }
+  });
+  std::thread t2([&] {
+    for (int rep = 0; rep < 5; ++rep) {
+      pool.ParallelFor(kN, [&](size_t i) { b[i].fetch_add(1); });
+    }
+  });
+  t1.join();
+  t2.join();
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(a[i].load(), 5) << i;
+    EXPECT_EQ(b[i].load(), 5) << i;
+  }
+}
+
+// Regression: a ParallelFor issued from inside a pool task deadlocked — the
+// worker blocked on the global counter that its own queued tasks kept
+// nonzero. The waiting thread now runs its group's queued tasks inline.
+TEST(ThreadPool, NestedParallelForInsidePoolTaskDoesNotDeadlock) {
+  ThreadPool pool(2);  // fewer workers than outer tasks forces the collision
+  std::atomic<int> inner_runs{0};
+  for (int outer = 0; outer < 4; ++outer) {
+    pool.Submit([&] {
+      pool.ParallelFor(8, [&](size_t) { inner_runs.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(inner_runs.load(), 4 * 8);
+}
+
+TEST(ThreadPool, ParallelForNestedInsideParallelFor) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.ParallelFor(6, [&](size_t) {
+    pool.ParallelFor(7, [&](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 6 * 7);
+}
+
+TEST(ThreadPool, SingleWorkerPoolStillCompletesNestedWork) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, [&](size_t) {
+    pool.ParallelFor(3, [&](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 9);
+}
+
+TEST(ThreadPool, TaskGroupsWaitIndependently) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::atomic<int> slow_done{0};
+  ThreadPool::TaskGroup slow(pool);
+  ThreadPool::TaskGroup fast(pool);
+  slow.Submit([&] {
+    while (!release.load()) std::this_thread::yield();
+    slow_done.fetch_add(1);
+  });
+  std::atomic<int> fast_done{0};
+  for (int i = 0; i < 16; ++i) fast.Submit([&] { fast_done.fetch_add(1); });
+  // fast must complete even though slow's task is still parked on a worker.
+  fast.Wait();
+  EXPECT_EQ(fast_done.load(), 16);
+  EXPECT_EQ(slow_done.load(), 0);
+  release.store(true);
+  slow.Wait();
+  EXPECT_EQ(slow_done.load(), 1);
+}
+
+TEST(ThreadPool, PoolWaitDoesNotCoverGroupTasks) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  ThreadPool::TaskGroup group(pool);
+  group.Submit([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  std::atomic<int> counter{0};
+  pool.Submit([&] { counter.fetch_add(1); });
+  pool.Wait();  // must return while the group task still spins
+  EXPECT_EQ(counter.load(), 1);
+  release.store(true);
+  group.Wait();
+}
+
+TEST(ThreadPool, ManyThreadsHammeringNestedParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&] {
+      for (int rep = 0; rep < 3; ++rep) {
+        pool.ParallelFor(5, [&](size_t) {
+          pool.ParallelFor(11, [&](size_t) { total.fetch_add(1); });
+        });
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(total.load(), 6L * 3 * 5 * 11);
+}
+
+}  // namespace
+}  // namespace dppr
