@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -35,7 +36,17 @@ class ByteWriter {
     PutRaw(s.data(), s.size());
   }
 
+  /// Length-prefixed opaque byte blob. Framing nested payloads this way lets
+  /// a reader skip or bounds-check a sub-message (e.g. one vector inside a
+  /// precomputation record) without understanding its contents.
+  void PutBlob(const void* data, size_t n) {
+    PutVarU64(n);
+    PutRaw(data, n);
+  }
+  void PutBlob(std::span<const uint8_t> blob) { PutBlob(blob.data(), blob.size()); }
+
   void PutRaw(const void* data, size_t n) {
+    if (n == 0) return;  // empty blobs may legally pass data == nullptr
     const uint8_t* p = static_cast<const uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + n);
   }
@@ -86,6 +97,16 @@ class ByteReader {
     std::string s(reinterpret_cast<const char*>(data_ + pos_), static_cast<size_t>(n));
     pos_ += static_cast<size_t>(n);
     return s;
+  }
+
+  /// View of a blob written by PutBlob; no copy, valid while the underlying
+  /// buffer lives. Same wrap-safe bounds check as GetString.
+  std::span<const uint8_t> GetBlob() {
+    uint64_t n = GetVarU64();
+    DPPR_CHECK_LE(n, static_cast<uint64_t>(size_ - pos_));
+    std::span<const uint8_t> blob(data_ + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+    return blob;
   }
 
   size_t remaining() const { return size_ - pos_; }

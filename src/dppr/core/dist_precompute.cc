@@ -1,0 +1,174 @@
+#include "dppr/core/dist_precompute.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dppr/common/serialize.h"
+#include "dppr/common/timer.h"
+#include "dppr/graph/local_graph.h"
+
+namespace dppr {
+namespace {
+
+void AppendRecord(ByteWriter& writer, VectorKind kind, SubgraphId sub,
+                  NodeId node, double seconds, SparseVector vec) {
+  VectorRecord record;
+  record.kind = kind;
+  record.sub = sub;
+  record.node = node;
+  record.seconds = seconds;
+  record.vec = std::move(vec);
+  record.SerializeTo(writer);
+}
+
+}  // namespace
+
+size_t DistributedPrecompute::Result::MaxMachineBytes() const {
+  size_t max = 0;
+  for (const auto& store : stores) {
+    max = std::max(max, store.TotalSerializedBytes());
+  }
+  return max;
+}
+
+size_t DistributedPrecompute::Result::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& store : stores) total += store.TotalSerializedBytes();
+  return total;
+}
+
+DistributedPrecompute::Result DistributedPrecompute::Run(
+    const Graph& graph, Hierarchy hierarchy, const HgpaOptions& options,
+    const DistPrecomputeOptions& dist) {
+  const size_t num_machines = dist.num_machines;
+  DPPR_CHECK_GE(num_machines, 1u);
+
+  Result result;
+  result.graph = &graph;
+  result.hierarchy = std::make_shared<const Hierarchy>(std::move(hierarchy));
+  result.options = options;
+  result.plan = PlacementPlan::Build(*result.hierarchy, num_machines);
+  result.stores.resize(num_machines);
+  result.ledger = MachineTimeLedger(num_machines);
+
+  const Hierarchy& h = *result.hierarchy;
+  SimCluster cluster(num_machines, dist.network, dist.sequential);
+
+  // Coordinator reduce shared by every superstep: machine m's payload fills
+  // machine m's owned store, and each record's compute time is charged to
+  // that machine's offline ledger. Record order within a payload is the
+  // producing task's deterministic iteration order.
+  auto ingest = [&](SimCluster::RoundResult& round) {
+    for (size_t m = 0; m < num_machines; ++m) {
+      ByteReader reader(round.payloads[m]);
+      while (!reader.AtEnd()) {
+        result.ledger.Add(m, result.stores[m].Ingest(VectorRecord::Deserialize(reader)));
+      }
+    }
+  };
+
+  // Superstep 1: leaf local PPVs. Each machine walks the leaves packed onto
+  // it, inducing each leaf's virtual subgraph once.
+  cluster.RunRound(
+      [&](size_t machine) {
+        ByteWriter writer;
+        for (SubgraphId leaf : result.plan.machine_leaves[machine]) {
+          const HierarchySubgraph& sub = h.subgraph(leaf);
+          LocalGraph lg = LocalGraph::Induce(graph, sub.nodes);
+          for (NodeId u : sub.nodes) {
+            WallTimer timer;
+            SparseVector vec = ComputeLeafVector(lg, u, options);
+            AppendRecord(writer, VectorKind::kOwnVector, leaf, u,
+                         timer.ElapsedSeconds(), std::move(vec));
+          }
+        }
+        return writer.Release();
+      },
+      ingest, &result.offline);
+
+  // Per hierarchy level, deepest first: a skeleton-column superstep, then a
+  // hub-partial superstep. Levels whose subgraphs have no hubs cost nothing
+  // and are skipped entirely rather than billed as empty rounds.
+  std::vector<uint32_t> hub_levels;
+  for (const auto& sub : h.subgraphs()) {
+    if (!sub.hubs.empty()) hub_levels.push_back(sub.level);
+  }
+  std::sort(hub_levels.begin(), hub_levels.end(), std::greater<>());
+  hub_levels.erase(std::unique(hub_levels.begin(), hub_levels.end()),
+                   hub_levels.end());
+
+  const bool skeleton_in_edges = PrecomputeNeedsInEdges(options);
+  for (uint32_t level : hub_levels) {
+    // A machine's share of one level: every subgraph at that level whose hub
+    // set intersects the machine's Eq. 7 slice, hubs in rank order. The emit
+    // callback gets the whole slice so per-subgraph work (inducing, hub
+    // localization) happens once, not once per hub.
+    auto for_each_my_subgraph = [&](size_t machine, bool build_in_edges,
+                                    auto&& emit) {
+      const auto& my_hubs = result.plan.machine_hubs[machine];
+      for (const auto& sub : h.subgraphs()) {
+        if (sub.level != level || sub.hubs.empty()) continue;
+        auto it = my_hubs.find(sub.id);
+        if (it == my_hubs.end()) continue;
+        LocalGraph lg = LocalGraph::Induce(graph, sub.nodes, build_in_edges);
+        emit(lg, sub, it->second);
+      }
+    };
+
+    cluster.RunRound(
+        [&](size_t machine) {
+          ByteWriter writer;
+          for_each_my_subgraph(
+              machine, skeleton_in_edges,
+              [&](const LocalGraph& lg, const HierarchySubgraph& sub,
+                  const std::vector<NodeId>& hubs) {
+                for (NodeId hub : hubs) {
+                  WallTimer timer;
+                  SparseVector vec = ComputeSkeletonColumn(lg, hub, options);
+                  AppendRecord(writer, VectorKind::kSkeletonColumn, sub.id, hub,
+                               timer.ElapsedSeconds(), std::move(vec));
+                }
+              });
+          return writer.Release();
+        },
+        ingest, &result.offline);
+
+    cluster.RunRound(
+        [&](size_t machine) {
+          ByteWriter writer;
+          for_each_my_subgraph(
+              machine, /*build_in_edges=*/false,
+              [&](const LocalGraph& lg, const HierarchySubgraph& sub,
+                  const std::vector<NodeId>& hubs) {
+                const std::vector<NodeId> local_hubs = LocalizeHubs(lg, sub);
+                for (NodeId hub : hubs) {
+                  WallTimer timer;
+                  SparseVector vec =
+                      ComputeHubPartial(lg, sub, local_hubs, hub, options);
+                  AppendRecord(writer, VectorKind::kHubPartial, sub.id, hub,
+                               timer.ElapsedSeconds(), std::move(vec));
+                }
+              });
+          return writer.Release();
+        },
+        ingest, &result.offline);
+  }
+
+  return result;
+}
+
+DistributedPrecompute::Result DistributedPrecompute::RunHgpa(
+    const Graph& graph, const HgpaOptions& options,
+    const DistPrecomputeOptions& dist) {
+  return Run(graph, Hierarchy::Build(graph, options.hierarchy), options, dist);
+}
+
+DistributedPrecompute::Result DistributedPrecompute::RunGpa(
+    const Graph& graph, uint32_t num_subgraphs, const HgpaOptions& options,
+    const DistPrecomputeOptions& dist) {
+  Hierarchy flat =
+      Hierarchy::BuildFlat(graph, num_subgraphs, options.hierarchy.partition);
+  return Run(graph, std::move(flat), options, dist);
+}
+
+}  // namespace dppr

@@ -1,0 +1,75 @@
+#ifndef DPPR_CORE_DIST_PRECOMPUTE_H_
+#define DPPR_CORE_DIST_PRECOMPUTE_H_
+
+#include <memory>
+#include <vector>
+
+#include "dppr/core/placement.h"
+#include "dppr/core/ppv_store.h"
+#include "dppr/core/precompute.h"
+#include "dppr/dist/cluster.h"
+#include "dppr/graph/graph.h"
+#include "dppr/partition/hierarchy.h"
+
+namespace dppr {
+
+struct DistPrecomputeOptions {
+  size_t num_machines = 4;
+  /// Network model the offline MultiRoundStats are priced under.
+  NetworkModel network{};
+  /// Run each round's machine tasks in machine order on the calling thread
+  /// (fully deterministic scheduling) instead of on the process ThreadPool.
+  bool sequential = false;
+};
+
+/// The paper's *distributed offline phase* (§5): plans per-machine work from
+/// the hierarchy (PlacementPlan) and executes it as SimCluster supersteps —
+/// one round of leaf local PPVs, then per hierarchy level (deepest first) a
+/// skeleton-column round and a hub-partial round. Each machine serializes the
+/// vectors it produced as its round payload (VectorRecord wire format); the
+/// coordinator ingests machine m's payload into machine m's own PpvStore.
+/// The folded MultiRoundStats — rounds, simulated seconds, bytes shipped —
+/// are the numbers the paper's offline tables measure.
+///
+/// The produced vectors are bit-identical to HgpaPrecomputation::Run on the
+/// same hierarchy (both call the same compute kernels and the wire format
+/// round-trips doubles exactly); the centralized path remains the oracle.
+class DistributedPrecompute {
+ public:
+  struct Result {
+    const Graph* graph = nullptr;
+    std::shared_ptr<const Hierarchy> hierarchy;
+    HgpaOptions options;
+    /// Machine m's vectors, owned (deserialized from its round payloads).
+    std::vector<PpvStore> stores;
+    PlacementPlan plan;
+    /// Offline cost report: one entry accumulated per superstep.
+    MultiRoundStats offline;
+    /// Per-vector compute time charged to the machine that stores it (same
+    /// semantics as HgpaIndex::offline_ledger on the centralized path).
+    MachineTimeLedger ledger{1};
+
+    size_t num_machines() const { return stores.size(); }
+    /// Paper's space metric: max serialized bytes over machines.
+    size_t MaxMachineBytes() const;
+    size_t TotalBytes() const;
+  };
+
+  /// Runs the distributed offline phase for `hierarchy` over `graph`.
+  /// The graph must outlive the returned Result.
+  static Result Run(const Graph& graph, Hierarchy hierarchy,
+                    const HgpaOptions& options, const DistPrecomputeOptions& dist);
+
+  /// HGPA over a fresh hierarchy built with options.hierarchy.
+  static Result RunHgpa(const Graph& graph, const HgpaOptions& options,
+                        const DistPrecomputeOptions& dist);
+
+  /// GPA: flat one-level partition into `num_subgraphs` parts (§3).
+  static Result RunGpa(const Graph& graph, uint32_t num_subgraphs,
+                       const HgpaOptions& options,
+                       const DistPrecomputeOptions& dist);
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_DIST_PRECOMPUTE_H_

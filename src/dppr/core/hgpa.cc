@@ -18,11 +18,16 @@ HgpaIndex HgpaIndex::Distribute(
   HgpaIndex index;
   index.precomputation_ = std::move(precomputation);
   const HgpaPrecomputation& pre = *index.precomputation_;
-  const Hierarchy& hierarchy = pre.hierarchy();
+  // Aliasing share: the hierarchy lives inside the precomputation, which the
+  // index keeps alive for its own lifetime.
+  index.hierarchy_ = std::shared_ptr<const Hierarchy>(index.precomputation_,
+                                                      &pre.hierarchy());
+  index.graph_ = &pre.graph();
+  index.options_ = pre.options();
+  const Hierarchy& hierarchy = *index.hierarchy_;
 
+  PlacementPlan plan = PlacementPlan::Build(hierarchy, num_machines);
   index.stores_.resize(num_machines);
-  index.machine_hubs_.resize(num_machines);
-  index.own_machine_.assign(hierarchy.num_nodes(), 0);
   index.offline_ = MachineTimeLedger(num_machines);
 
   auto place = [&](VectorKind kind, SubgraphId sub, NodeId node, size_t machine) {
@@ -32,39 +37,39 @@ HgpaIndex HgpaIndex::Distribute(
     index.offline_.Add(machine, item->seconds);
   };
 
-  // Eq. 7: split each subgraph's hub set evenly over machines. The rotation
-  // by subgraph id spreads the remainder hubs across machines.
+  // Walk the hierarchy in subgraph order (not the plan's hash-map order) so
+  // the ledger's floating-point sums are deterministic across runs.
   for (const auto& sub : hierarchy.subgraphs()) {
-    for (size_t rank = 0; rank < sub.hubs.size(); ++rank) {
-      size_t machine = (rank + sub.id) % num_machines;
-      NodeId hub = sub.hubs[rank];
+    for (NodeId hub : sub.hubs) {
+      size_t machine = plan.own_machine[hub];
       place(VectorKind::kHubPartial, sub.id, hub, machine);
       place(VectorKind::kSkeletonColumn, sub.id, hub, machine);
-      index.machine_hubs_[machine][sub.id].push_back(hub);
-      index.own_machine_[hub] = machine;  // hub's own vector = its partial
+    }
+  }
+  for (SubgraphId leaf : hierarchy.leaves()) {
+    for (NodeId u : hierarchy.subgraph(leaf).nodes) {
+      place(VectorKind::kOwnVector, leaf, u, plan.own_machine[u]);
     }
   }
 
-  // Leaf subgraphs: greedy least-loaded by node count ("distribute the leaf
-  // level subgraphs evenly", §4.4). Larger leaves first.
-  std::vector<SubgraphId> leaves = hierarchy.leaves();
-  std::sort(leaves.begin(), leaves.end(), [&](SubgraphId a, SubgraphId b) {
-    size_t sa = hierarchy.subgraph(a).nodes.size();
-    size_t sb = hierarchy.subgraph(b).nodes.size();
-    if (sa != sb) return sa > sb;
-    return a < b;
-  });
-  std::vector<size_t> leaf_load(num_machines, 0);
-  for (SubgraphId leaf : leaves) {
-    size_t machine = static_cast<size_t>(
-        std::min_element(leaf_load.begin(), leaf_load.end()) - leaf_load.begin());
-    const auto& sub = hierarchy.subgraph(leaf);
-    leaf_load[machine] += sub.nodes.size();
-    for (NodeId u : sub.nodes) {
-      place(VectorKind::kOwnVector, leaf, u, machine);
-      index.own_machine_[u] = machine;
-    }
-  }
+  index.machine_hubs_ = std::move(plan.machine_hubs);
+  index.own_machine_ = std::move(plan.own_machine);
+  return index;
+}
+
+HgpaIndex HgpaIndex::FromDistributed(DistributedPrecompute::Result result) {
+  DPPR_CHECK(result.graph != nullptr);
+  DPPR_CHECK(result.hierarchy != nullptr);
+  DPPR_CHECK_GE(result.stores.size(), 1u);
+
+  HgpaIndex index;
+  index.graph_ = result.graph;
+  index.hierarchy_ = std::move(result.hierarchy);
+  index.options_ = result.options;
+  index.stores_ = std::move(result.stores);
+  index.machine_hubs_ = std::move(result.plan.machine_hubs);
+  index.own_machine_ = std::move(result.plan.own_machine);
+  index.offline_ = std::move(result.ledger);
   return index;
 }
 
@@ -178,26 +183,41 @@ std::vector<SparseVector> HgpaQueryEngine::RunDistributed(
       [&](size_t machine) { return MachineTask(machine, queries); });
 
   WallTimer coordinator_timer;
-  // Split every machine payload back into its per-query fragments; fragment
-  // boundaries also yield each query's own share of the round's traffic.
-  std::vector<std::vector<SparseVector>> fragments(num_queries);
   std::vector<CommStats> per_query_comm(num_queries);
-  for (const auto& payload : round.payloads) {
-    ByteReader reader(payload.data(), payload.size());
-    for (size_t q = 0; q < num_queries; ++q) {
-      size_t before = reader.remaining();
-      fragments[q].push_back(SparseVector::Deserialize(reader));
-      per_query_comm[q].Record(before - reader.remaining());
-    }
-    DPPR_CHECK(reader.AtEnd());
-  }
-  // Reduce each query over its fragments in machine order, so the result is
-  // bit-identical to the single-query path regardless of batch composition.
   DenseAccumulator acc(index_.graph().num_nodes());
-  for (size_t q = 0; q < num_queries; ++q) {
-    for (const SparseVector& fragment : fragments[q]) acc.AddVector(fragment, 1.0);
-    results[q] = acc.ToSparse();
-    acc.Clear();
+  if (num_queries == 1) {
+    // Hot single-query path: payload order is already machine order — the
+    // reduce order — so fold each fragment as it is deserialized instead of
+    // materializing all n fragments at once. Same AddVector sequence as the
+    // batch path below, so results stay bit-identical across both.
+    for (const auto& payload : round.payloads) {
+      ByteReader reader(payload.data(), payload.size());
+      size_t before = reader.remaining();
+      acc.AddVector(SparseVector::Deserialize(reader), 1.0);
+      per_query_comm[0].Record(before - reader.remaining());
+      DPPR_CHECK(reader.AtEnd());
+    }
+    results[0] = acc.ToSparse();
+  } else {
+    // Split every machine payload back into its per-query fragments; fragment
+    // boundaries also yield each query's own share of the round's traffic.
+    std::vector<std::vector<SparseVector>> fragments(num_queries);
+    for (const auto& payload : round.payloads) {
+      ByteReader reader(payload.data(), payload.size());
+      for (size_t q = 0; q < num_queries; ++q) {
+        size_t before = reader.remaining();
+        fragments[q].push_back(SparseVector::Deserialize(reader));
+        per_query_comm[q].Record(before - reader.remaining());
+      }
+      DPPR_CHECK(reader.AtEnd());
+    }
+    // Reduce each query over its fragments in machine order, so the result is
+    // bit-identical to the single-query path regardless of batch composition.
+    for (size_t q = 0; q < num_queries; ++q) {
+      for (const SparseVector& fragment : fragments[q]) acc.AddVector(fragment, 1.0);
+      results[q] = acc.ToSparse();
+      acc.Clear();
+    }
   }
   round.metrics.coordinator_seconds = coordinator_timer.ElapsedSeconds();
 

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dppr/core/dist_precompute.h"
+#include "dppr/core/placement.h"
 #include "dppr/core/ppv_store.h"
 #include "dppr/core/precompute.h"
 #include "dppr/dist/cluster.h"
@@ -13,24 +15,36 @@
 
 namespace dppr {
 
-/// A precomputation distributed onto n simulated machines: the paper's
-/// hub-node partitioning (Eq. 7) splits every subgraph's hub set evenly
-/// across machines, and leaf subgraphs are packed onto machines by greedy
-/// least-loaded assignment. The same type serves GPA (flat hierarchy) and
-/// HGPA (deep hierarchy).
+/// A precomputation distributed onto n simulated machines under a shared
+/// PlacementPlan: the paper's hub-node partitioning (Eq. 7) splits every
+/// subgraph's hub set evenly across machines, and leaf subgraphs are packed
+/// onto machines by greedy least-loaded assignment. The same type serves GPA
+/// (flat hierarchy) and HGPA (deep hierarchy), built either from a
+/// centralized precomputation (stores reference its vectors) or from a
+/// distributed offline run (stores own their vectors).
 class HgpaIndex {
  public:
   /// Places `precomputation` onto `num_machines` machines. Cheap relative to
   /// precomputation (vectors are shared, not copied), so machine sweeps can
-  /// redistribute one precomputation many times.
+  /// redistribute one precomputation many times. Retained as the bit-equality
+  /// oracle for the distributed offline path.
   static HgpaIndex Distribute(
       std::shared_ptr<const HgpaPrecomputation> precomputation,
       size_t num_machines);
 
-  const Graph& graph() const { return precomputation_->graph(); }
-  const Hierarchy& hierarchy() const { return precomputation_->hierarchy(); }
-  const HgpaOptions& options() const { return precomputation_->options(); }
+  /// Adopts the machine-owned stores a DistributedPrecompute run produced
+  /// (placement is already fixed by the run's PlacementPlan). The offline
+  /// ledger carries the run's per-machine compute charges.
+  static HgpaIndex FromDistributed(DistributedPrecompute::Result result);
+
+  const Graph& graph() const { return *graph_; }
+  const Hierarchy& hierarchy() const { return *hierarchy_; }
+  const HgpaOptions& options() const { return options_; }
   size_t num_machines() const { return stores_.size(); }
+
+  /// True when the stores own their vectors (distributed offline path);
+  /// false when they reference a shared centralized precomputation.
+  bool owns_vectors() const { return precomputation_ == nullptr; }
 
   const PpvStore& store(size_t machine) const { return stores_[machine]; }
 
@@ -56,6 +70,10 @@ class HgpaIndex {
   std::vector<size_t> BytesPerMachine() const;
 
  private:
+  const Graph* graph_ = nullptr;
+  std::shared_ptr<const Hierarchy> hierarchy_;
+  HgpaOptions options_;
+  /// Keep-alive for referencing-mode stores; null when stores_ own vectors.
   std::shared_ptr<const HgpaPrecomputation> precomputation_;
   std::vector<PpvStore> stores_;
   std::vector<std::unordered_map<SubgraphId, std::vector<NodeId>>> machine_hubs_;

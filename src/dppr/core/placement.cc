@@ -1,0 +1,48 @@
+#include "dppr/core/placement.h"
+
+#include <algorithm>
+
+#include "dppr/common/macros.h"
+
+namespace dppr {
+
+PlacementPlan PlacementPlan::Build(const Hierarchy& hierarchy,
+                                   size_t num_machines) {
+  DPPR_CHECK_GE(num_machines, 1u);
+  PlacementPlan plan;
+  plan.machine_hubs.resize(num_machines);
+  plan.machine_leaves.resize(num_machines);
+  plan.own_machine.assign(hierarchy.num_nodes(), 0);
+
+  // Eq. 7: split each subgraph's hub set evenly over machines. The rotation
+  // by subgraph id spreads the remainder hubs across machines.
+  for (const auto& sub : hierarchy.subgraphs()) {
+    for (size_t rank = 0; rank < sub.hubs.size(); ++rank) {
+      size_t machine = (rank + sub.id) % num_machines;
+      NodeId hub = sub.hubs[rank];
+      plan.machine_hubs[machine][sub.id].push_back(hub);
+      plan.own_machine[hub] = machine;  // hub's own vector = its partial
+    }
+  }
+
+  // Leaf subgraphs: greedy least-loaded by node count, larger leaves first.
+  std::vector<SubgraphId> leaves = hierarchy.leaves();
+  std::sort(leaves.begin(), leaves.end(), [&](SubgraphId a, SubgraphId b) {
+    size_t sa = hierarchy.subgraph(a).nodes.size();
+    size_t sb = hierarchy.subgraph(b).nodes.size();
+    if (sa != sb) return sa > sb;
+    return a < b;
+  });
+  std::vector<size_t> leaf_load(num_machines, 0);
+  for (SubgraphId leaf : leaves) {
+    size_t machine = static_cast<size_t>(
+        std::min_element(leaf_load.begin(), leaf_load.end()) - leaf_load.begin());
+    const auto& sub = hierarchy.subgraph(leaf);
+    leaf_load[machine] += sub.nodes.size();
+    plan.machine_leaves[machine].push_back(leaf);
+    for (NodeId u : sub.nodes) plan.own_machine[u] = machine;
+  }
+  return plan;
+}
+
+}  // namespace dppr

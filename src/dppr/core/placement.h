@@ -1,0 +1,42 @@
+#ifndef DPPR_CORE_PLACEMENT_H_
+#define DPPR_CORE_PLACEMENT_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "dppr/partition/hierarchy.h"
+
+namespace dppr {
+
+/// Which machine computes and stores each precomputed vector, decided from
+/// the hierarchy alone (placement is independent of the vectors' contents):
+///
+///  - hub vectors: each subgraph's hub set is split evenly over machines
+///    (Eq. 7), rotated by subgraph id so remainder hubs spread out;
+///  - leaf subgraphs: greedy least-loaded packing by node count, larger
+///    leaves first ("distribute the leaf level subgraphs evenly", §4.4).
+///
+/// Both the offline drivers (HgpaIndex::Distribute over a centralized
+/// precomputation, DistributedPrecompute's SimCluster rounds) and the query
+/// engine consume the same plan, so the distributed rebuild reproduces the
+/// centralized placement exactly — including the per-(machine, subgraph) hub
+/// order the query-time accumulation depends on.
+struct PlacementPlan {
+  /// Hubs a machine is responsible for, grouped by subgraph, in Eq. 7 rank
+  /// order (the order query-time accumulation folds them in).
+  std::vector<std::unordered_map<SubgraphId, std::vector<NodeId>>> machine_hubs;
+  /// Leaf subgraphs packed onto each machine, in assignment order.
+  std::vector<std::vector<SubgraphId>> machine_leaves;
+  /// Per node: the machine holding its own vector (leaf local PPV for
+  /// non-hubs, the hub partial vector for hubs).
+  std::vector<size_t> own_machine;
+
+  size_t num_machines() const { return machine_hubs.size(); }
+
+  static PlacementPlan Build(const Hierarchy& hierarchy, size_t num_machines);
+};
+
+}  // namespace dppr
+
+#endif  // DPPR_CORE_PLACEMENT_H_

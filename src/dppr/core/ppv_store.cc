@@ -1,3 +1,72 @@
 #include "dppr/core/ppv_store.h"
 
-// Header-only; TU anchors the target.
+#include <utility>
+
+namespace dppr {
+
+void VectorRecord::SerializeTo(ByteWriter& writer) const {
+  writer.PutU8(static_cast<uint8_t>(kind));
+  writer.PutVarU64(sub);
+  writer.PutVarU64(node);
+  writer.PutDouble(seconds);
+  // Nested blob framing: the receiver bounds-checks the vector payload
+  // against the declared length before parsing it. SerializedBytes() is the
+  // exact size of SerializeTo's output, so the blob header can be written
+  // up front without buffering the vector twice.
+  writer.PutVarU64(vec.SerializedBytes());
+  vec.SerializeTo(writer);
+}
+
+VectorRecord VectorRecord::Deserialize(ByteReader& reader) {
+  VectorRecord record;
+  uint8_t kind = reader.GetU8();
+  DPPR_CHECK_LT(kind, kNumVectorKinds);
+  record.kind = static_cast<VectorKind>(kind);
+  uint64_t sub = reader.GetVarU64();
+  uint64_t node = reader.GetVarU64();
+  // Same ranges MakeVectorKey enforces; rejecting here pins the failure on
+  // the wire bytes rather than a later store insert.
+  DPPR_CHECK_LT(sub, 1u << 30);
+  DPPR_CHECK_LT(node, 1u << 30);
+  record.sub = static_cast<SubgraphId>(sub);
+  record.node = static_cast<NodeId>(node);
+  record.seconds = reader.GetDouble();
+  std::span<const uint8_t> blob = reader.GetBlob();
+  ByteReader vec_reader(blob.data(), blob.size());
+  record.vec = SparseVector::Deserialize(vec_reader);
+  // A declared length longer than the vector payload means trailing garbage
+  // inside the record — corrupt, not just padded.
+  DPPR_CHECK(vec_reader.AtEnd());
+  return record;
+}
+
+PpvStore::PpvStore(const PpvStore& other)
+    : map_(other.map_),
+      owned_(other.owned_),
+      total_bytes_(other.total_bytes_),
+      bytes_by_kind_(other.bytes_by_kind_),
+      num_vectors_(other.num_vectors_) {
+  for (auto& [key, vec] : owned_) map_[key] = &vec;
+}
+
+PpvStore& PpvStore::operator=(const PpvStore& other) {
+  if (this != &other) *this = PpvStore(other);
+  return *this;
+}
+
+const SparseVector* PpvStore::PutOwned(VectorKind kind, SubgraphId sub,
+                                       NodeId node, SparseVector vec,
+                                       size_t serialized_bytes) {
+  owned_.emplace_back(MakeVectorKey(kind, sub, node), std::move(vec));
+  const SparseVector* stored = &owned_.back().second;
+  Insert(kind, sub, node, stored, serialized_bytes);
+  return stored;
+}
+
+double PpvStore::Ingest(VectorRecord record) {
+  size_t bytes = record.vec.SerializedBytes();
+  PutOwned(record.kind, record.sub, record.node, std::move(record.vec), bytes);
+  return record.seconds;
+}
+
+}  // namespace dppr

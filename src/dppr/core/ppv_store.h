@@ -1,10 +1,13 @@
 #ifndef DPPR_CORE_PPV_STORE_H_
 #define DPPR_CORE_PPV_STORE_H_
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 
 #include "dppr/common/macros.h"
+#include "dppr/common/serialize.h"
 #include "dppr/graph/types.h"
 #include "dppr/partition/hierarchy.h"
 #include "dppr/ppr/sparse_vector.h"
@@ -20,28 +23,74 @@ enum class VectorKind : uint8_t {
   /// Leaf-level local PPV r_u[leaf] of a non-hub node (Eq. 6 last term).
   kOwnVector = 2,
 };
+inline constexpr uint8_t kNumVectorKinds = 3;
 
-/// Packs (kind, subgraph, node) into a lookup key.
+/// Packs (kind, subgraph, node) into a lookup key. The range checks are
+/// always on (DPPR_CHECK): a silently truncated key aliases another vector's
+/// slot and returns wrong data, which a release build must refuse too.
 inline uint64_t MakeVectorKey(VectorKind kind, SubgraphId sub, NodeId node) {
-  DPPR_DCHECK(sub < (1u << 30));
-  DPPR_DCHECK(node < (1u << 30));
+  DPPR_CHECK_LT(sub, 1u << 30);
+  DPPR_CHECK_LT(node, 1u << 30);
   return (static_cast<uint64_t>(kind) << 60) | (static_cast<uint64_t>(sub) << 30) |
          node;
 }
 
-/// One simulated machine's vector storage. Vectors are owned by the
-/// placement-independent HgpaPrecomputation; the store references them and
-/// tracks serialized storage bytes (the paper's per-machine space metric).
+/// Wire format for shipping one precomputed vector between machines: header
+/// (kind, subgraph, owner node, compute seconds) followed by the serialized
+/// SparseVector as a length-prefixed blob, so a receiver can bounds-check the
+/// nested payload before trusting it. This is what DistributedPrecompute's
+/// SimCluster rounds put on the wire and what PpvStore deserializes into an
+/// owned vector.
+struct VectorRecord {
+  VectorKind kind = VectorKind::kOwnVector;
+  SubgraphId sub = kInvalidSubgraph;
+  NodeId node = kInvalidNode;
+  /// Compute time on the producing machine (offline ledger accounting).
+  double seconds = 0.0;
+  SparseVector vec;
+
+  void SerializeTo(ByteWriter& writer) const;
+
+  /// DPPR_CHECK-fails on malformed input: unknown kind, out-of-range ids,
+  /// truncated or oversized nested vector payload.
+  static VectorRecord Deserialize(ByteReader& reader);
+};
+
+/// One simulated machine's vector storage, in one of two modes per vector:
+///
+///  - *referencing*: `Put` aliases a vector owned by the placement-independent
+///    HgpaPrecomputation (the legacy centralized path, kept as the oracle);
+///  - *owning*: `PutOwned` adopts a vector, typically deserialized from the
+///    wire bytes a DistributedPrecompute round shipped (`Ingest`).
+///
+/// Either way the store keeps a serialized-bytes ledger — total and per kind —
+/// which is the paper's per-machine space metric.
 class PpvStore {
  public:
+  PpvStore() = default;
+
+  /// Copying is legal in both modes: owned vectors are deep-copied and the
+  /// lookup table is re-pointed at the copies.
+  PpvStore(const PpvStore& other);
+  PpvStore& operator=(const PpvStore& other);
+  // Moving std::deque never relocates elements, so owned addresses survive.
+  PpvStore(PpvStore&&) = default;
+  PpvStore& operator=(PpvStore&&) = default;
+
+  /// Referencing mode: `vec` must outlive the store.
   void Put(VectorKind kind, SubgraphId sub, NodeId node, const SparseVector* vec,
            size_t serialized_bytes) {
-    bool inserted =
-        map_.emplace(MakeVectorKey(kind, sub, node), vec).second;
-    DPPR_CHECK(inserted);
-    total_bytes_ += serialized_bytes;
-    ++num_vectors_;
+    Insert(kind, sub, node, vec, serialized_bytes);
   }
+
+  /// Owning mode: adopts `vec`. Returns the stored vector's stable address.
+  const SparseVector* PutOwned(VectorKind kind, SubgraphId sub, NodeId node,
+                               SparseVector vec, size_t serialized_bytes);
+
+  /// Deserializes and adopts one wire record; the byte ledger is charged the
+  /// vector's serialized size. Returns the record's compute seconds so the
+  /// caller can charge its offline ledger.
+  double Ingest(VectorRecord record);
 
   /// nullptr when this machine does not hold the vector.
   const SparseVector* Find(VectorKind kind, SubgraphId sub, NodeId node) const {
@@ -50,13 +99,32 @@ class PpvStore {
   }
 
   size_t num_vectors() const { return num_vectors_; }
+  size_t num_owned() const { return owned_.size(); }
 
   /// Serialized size of everything stored here (disk/memory accounting).
   size_t TotalSerializedBytes() const { return total_bytes_; }
 
+  /// Ledger breakdown: serialized bytes held per vector kind.
+  size_t SerializedBytesByKind(VectorKind kind) const {
+    return bytes_by_kind_[static_cast<uint8_t>(kind)];
+  }
+
  private:
+  void Insert(VectorKind kind, SubgraphId sub, NodeId node,
+              const SparseVector* vec, size_t serialized_bytes) {
+    bool inserted = map_.emplace(MakeVectorKey(kind, sub, node), vec).second;
+    DPPR_CHECK(inserted);
+    total_bytes_ += serialized_bytes;
+    bytes_by_kind_[static_cast<uint8_t>(kind)] += serialized_bytes;
+    ++num_vectors_;
+  }
+
   std::unordered_map<uint64_t, const SparseVector*> map_;
+  /// Owned vectors with their keys; deque for address stability under growth,
+  /// keys so the copy constructor can re-point map_ entries.
+  std::deque<std::pair<uint64_t, SparseVector>> owned_;
   size_t total_bytes_ = 0;
+  std::array<size_t, kNumVectorKinds> bytes_by_kind_{};
   size_t num_vectors_ = 0;
 };
 

@@ -54,6 +54,56 @@ SparseVector DropIndices(const SparseVector& vec,
 
 }  // namespace
 
+bool PrecomputeNeedsInEdges(const HgpaOptions& options) {
+  return options.skeleton_method == SkeletonMethod::kReversePush;
+}
+
+std::vector<NodeId> LocalizeHubs(const LocalGraph& lg,
+                                 const HierarchySubgraph& sub) {
+  std::vector<NodeId> local_hubs(sub.hubs.size());
+  for (size_t i = 0; i < sub.hubs.size(); ++i) {
+    local_hubs[i] = lg.ToLocal(sub.hubs[i]);
+    DPPR_CHECK_NE(local_hubs[i], kInvalidNode);
+  }
+  return local_hubs;
+}
+
+SparseVector ComputeHubPartial(const LocalGraph& lg, const HierarchySubgraph& sub,
+                               std::span<const NodeId> local_hubs, NodeId hub,
+                               const HgpaOptions& options) {
+  DPPR_CHECK_EQ(local_hubs.size(), sub.hubs.size());
+  NodeId hub_local = lg.ToLocal(hub);
+  DPPR_CHECK_NE(hub_local, kInvalidNode);
+  // Push blocked at the subgraph's hub set (tours may start and end at hubs
+  // but not cross them).
+  ForwardPusher<LocalGraph> pusher(lg);
+  ForwardPushResult push =
+      pusher.Run(hub_local, local_hubs, options.ppr, /*prune_below=*/0.0);
+  return DropIndices(LiftToGlobal(lg, push.reserve, options.storage_prune),
+                     sub.hubs);
+}
+
+SparseVector ComputeSkeletonColumn(const LocalGraph& lg, NodeId hub,
+                                   const HgpaOptions& options) {
+  NodeId hub_local = lg.ToLocal(hub);
+  DPPR_CHECK_NE(hub_local, kInvalidNode);
+  std::vector<double> column =
+      options.skeleton_method == SkeletonMethod::kFixedPoint
+          ? SkeletonFixedPoint(lg, hub_local, options.ppr)
+          : SkeletonReversePush(lg, hub_local, options.ppr);
+  return LiftDenseToGlobal(lg, column, options.storage_prune);
+}
+
+SparseVector ComputeLeafVector(const LocalGraph& lg, NodeId node,
+                               const HgpaOptions& options) {
+  NodeId node_local = lg.ToLocal(node);
+  DPPR_CHECK_NE(node_local, kInvalidNode);
+  ForwardPusher<LocalGraph> pusher(lg);
+  ForwardPushResult push =
+      pusher.Run(node_local, {}, options.ppr, /*prune_below=*/0.0);
+  return LiftToGlobal(lg, push.reserve, options.storage_prune);
+}
+
 std::shared_ptr<const HgpaPrecomputation> HgpaPrecomputation::Run(
     const Graph& graph, Hierarchy hierarchy, const HgpaOptions& options) {
   auto result = std::shared_ptr<HgpaPrecomputation>(new HgpaPrecomputation());
@@ -73,9 +123,7 @@ std::shared_ptr<const HgpaPrecomputation> HgpaPrecomputation::Run(
   }
   items.resize(total_items);
 
-  const bool need_in_edges =
-      options.skeleton_method == SkeletonMethod::kReversePush;
-  const double prune = options.storage_prune;
+  const bool need_in_edges = PrecomputeNeedsInEdges(options);
   ThreadPool& pool = ThreadPool::Default();
 
   size_t next_slot = 0;
@@ -87,26 +135,16 @@ std::shared_ptr<const HgpaPrecomputation> HgpaPrecomputation::Run(
     LocalGraph lg = LocalGraph::Induce(graph, sub.nodes, need_in_edges);
 
     if (!sub.hubs.empty()) {
-      std::vector<NodeId> local_hubs(sub.hubs.size());
-      for (size_t i = 0; i < sub.hubs.size(); ++i) {
-        local_hubs[i] = lg.ToLocal(sub.hubs[i]);
-        DPPR_CHECK_NE(local_hubs[i], kInvalidNode);
-      }
+      const std::vector<NodeId> local_hubs = LocalizeHubs(lg, sub);
       size_t base = next_slot;
       next_slot += 2 * sub.hubs.size();
       auto hub_task = [&](size_t i) {
         NodeId hub_global = sub.hubs[i];
-        NodeId hub_local = local_hubs[i];
 
-        // Partial vector p^H_h[S]: push blocked at the subgraph's hub set
-        // (tours may start and end at hubs but not cross them).
         Item& partial = items[base + 2 * i];
         {
           WallTimer timer;
-          ForwardPusher<LocalGraph> pusher(lg);
-          ForwardPushResult push =
-              pusher.Run(hub_local, local_hubs, options.ppr, /*prune_below=*/0.0);
-          partial.vec = DropIndices(LiftToGlobal(lg, push.reserve, prune), sub.hubs);
+          partial.vec = ComputeHubPartial(lg, sub, local_hubs, hub_global, options);
           partial.seconds = timer.ElapsedSeconds();
         }
         partial.kind = VectorKind::kHubPartial;
@@ -114,15 +152,10 @@ std::shared_ptr<const HgpaPrecomputation> HgpaPrecomputation::Run(
         partial.node = hub_global;
         partial.bytes = partial.vec.SerializedBytes();
 
-        // Skeleton column s_.[S](h).
         Item& skeleton = items[base + 2 * i + 1];
         {
           WallTimer timer;
-          std::vector<double> column =
-              options.skeleton_method == SkeletonMethod::kFixedPoint
-                  ? SkeletonFixedPoint(lg, hub_local, options.ppr)
-                  : SkeletonReversePush(lg, hub_local, options.ppr);
-          skeleton.vec = LiftDenseToGlobal(lg, column, prune);
+          skeleton.vec = ComputeSkeletonColumn(lg, hub_global, options);
           skeleton.seconds = timer.ElapsedSeconds();
         }
         skeleton.kind = VectorKind::kSkeletonColumn;
@@ -142,13 +175,9 @@ std::shared_ptr<const HgpaPrecomputation> HgpaPrecomputation::Run(
       next_slot += sub.nodes.size();
       auto leaf_task = [&](size_t i) {
         NodeId node_global = sub.nodes[i];
-        NodeId node_local = lg.ToLocal(node_global);
         Item& own = items[base + i];
         WallTimer timer;
-        ForwardPusher<LocalGraph> pusher(lg);
-        ForwardPushResult push =
-            pusher.Run(node_local, {}, options.ppr, /*prune_below=*/0.0);
-        own.vec = LiftToGlobal(lg, push.reserve, prune);
+        own.vec = ComputeLeafVector(lg, node_global, options);
         own.seconds = timer.ElapsedSeconds();
         own.kind = VectorKind::kOwnVector;
         own.sub = sub.id;

@@ -2,11 +2,13 @@
 #define DPPR_CORE_PRECOMPUTE_H_
 
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "dppr/core/ppv_store.h"
 #include "dppr/graph/graph.h"
+#include "dppr/graph/local_graph.h"
 #include "dppr/partition/hierarchy.h"
 #include "dppr/ppr/ppr_options.h"
 
@@ -32,6 +34,38 @@ struct HgpaOptions {
   /// Run precomputation tasks on the process thread pool.
   bool parallel = true;
 };
+
+/// Whether LocalGraph::Induce must materialize in-adjacency for the
+/// configured skeleton method.
+bool PrecomputeNeedsInEdges(const HgpaOptions& options);
+
+/// Per-vector compute kernels, shared verbatim by the centralized
+/// HgpaPrecomputation::Run loop and the distributed SimCluster driver
+/// (DistributedPrecompute) — both paths calling the same deterministic code
+/// is what makes their outputs bit-identical. `lg` must be the virtual
+/// subgraph induced on the owning subgraph's `nodes` (with in-edges for
+/// ComputeSkeletonColumn under kReversePush); node arguments are global ids.
+
+/// `sub`'s hub set mapped into `lg`'s local id space, in `sub.hubs` order.
+/// Hoisted out of ComputeHubPartial so drivers localize once per subgraph,
+/// not once per hub.
+std::vector<NodeId> LocalizeHubs(const LocalGraph& lg,
+                                 const HierarchySubgraph& sub);
+
+/// p^H_hub[S]: forward push blocked at `sub`'s hub set (`local_hubs` =
+/// LocalizeHubs(lg, sub)), lifted to global ids, with all hub coordinates
+/// dropped (reconstructed from skeleton columns at query time).
+SparseVector ComputeHubPartial(const LocalGraph& lg, const HierarchySubgraph& sub,
+                               std::span<const NodeId> local_hubs, NodeId hub,
+                               const HgpaOptions& options);
+
+/// Skeleton column s_.[S](hub) via the configured method.
+SparseVector ComputeSkeletonColumn(const LocalGraph& lg, NodeId hub,
+                                   const HgpaOptions& options);
+
+/// Leaf local PPV r_node[leaf] (unblocked push on the leaf's virtual subgraph).
+SparseVector ComputeLeafVector(const LocalGraph& lg, NodeId node,
+                               const HgpaOptions& options);
 
 /// Placement-independent precomputation: all partial vectors, skeleton
 /// columns and leaf vectors of a hierarchy, with per-vector compute time and

@@ -86,11 +86,20 @@ SparseVector SparseVector::Deserialize(ByteReader& reader) {
   DPPR_CHECK_LE(count, reader.remaining() / 9);
   SparseVector v;
   v.entries_.reserve(count);
-  NodeId prev = 0;
+  uint64_t prev = 0;
   for (size_t i = 0; i < count; ++i) {
-    prev += static_cast<NodeId>(reader.GetVarU64());
+    uint64_t delta = reader.GetVarU64();
+    // A well-framed hostile payload could still smuggle wrapped or duplicate
+    // indices past the framing checks; downstream bounds checks on the
+    // accumulate path are DPPR_DCHECK-only, so reject here. Deltas must keep
+    // ids strictly increasing (after the first) and inside the 30-bit id
+    // range every node id in the system obeys (see MakeVectorKey).
+    DPPR_CHECK(i == 0 || delta > 0);
+    uint64_t index = prev + delta;
+    DPPR_CHECK_LT(index, 1u << 30);
     double value = reader.GetDouble();
-    v.entries_.push_back({prev, value});
+    v.entries_.push_back({static_cast<NodeId>(index), value});
+    prev = index;
   }
   return v;
 }

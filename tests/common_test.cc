@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <set>
@@ -136,6 +137,51 @@ TEST(Serialize, HostileStringLengthDiesInsteadOfWrapping) {
       {
         ByteReader reader(writer.bytes());
         reader.GetString();
+      },
+      "DPPR_CHECK failed");
+}
+
+TEST(Serialize, BlobRoundTripsAsView) {
+  ByteWriter writer;
+  std::vector<uint8_t> payload{1, 2, 3, 4, 5};
+  writer.PutBlob(payload.data(), payload.size());
+  writer.PutBlob(nullptr, 0);  // empty blob is legal
+  writer.PutU8(0xEE);
+
+  ByteReader reader(writer.bytes());
+  std::span<const uint8_t> blob = reader.GetBlob();
+  ASSERT_EQ(blob.size(), payload.size());
+  EXPECT_TRUE(std::equal(blob.begin(), blob.end(), payload.begin()));
+  // The view aliases the writer's buffer — no copy.
+  EXPECT_GE(blob.data(), writer.bytes().data());
+  EXPECT_TRUE(reader.GetBlob().empty());
+  EXPECT_EQ(reader.GetU8(), 0xEE);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(Serialize, HostileBlobLengthDiesInsteadOfWrapping) {
+  // Same wrap-hazard as GetString: a length near UINT64_MAX must not pass
+  // the bounds check via overflow and read out of bounds.
+  ByteWriter writer;
+  writer.PutVarU64(~0ull);
+  writer.PutU8('x');
+  EXPECT_DEATH(
+      {
+        ByteReader reader(writer.bytes());
+        reader.GetBlob();
+      },
+      "DPPR_CHECK failed");
+}
+
+TEST(Serialize, TruncatedBlobDies) {
+  ByteWriter writer;
+  writer.PutVarU64(16);  // promises 16 bytes, delivers 2
+  writer.PutU8(1);
+  writer.PutU8(2);
+  EXPECT_DEATH(
+      {
+        ByteReader reader(writer.bytes());
+        reader.GetBlob();
       },
       "DPPR_CHECK failed");
 }

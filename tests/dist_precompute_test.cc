@@ -1,0 +1,239 @@
+#include "dppr/core/dist_precompute.h"
+
+#include <gtest/gtest.h>
+
+#include "dppr/core/hgpa.h"
+#include "dppr/graph/datasets.h"
+#include "test_util.h"
+
+namespace dppr {
+namespace {
+
+using ::dppr::testing::RandomDigraph;
+
+HgpaOptions SmallOptions() {
+  HgpaOptions options;
+  options.ppr.tolerance = 1e-8;
+  options.hierarchy.max_levels = 3;
+  options.hierarchy.min_subgraph_size = 4;
+  return options;
+}
+
+// Machine that must hold a centralized item under the shared placement plan.
+size_t MachineOf(const PlacementPlan& plan, const HgpaPrecomputation::Item& item) {
+  return plan.own_machine[item.node];
+}
+
+// Asserts the distributed run reproduced the centralized oracle exactly:
+// every item bit-identical, placed on the planned machine and nowhere else,
+// with matching byte ledgers.
+void ExpectBitIdentical(const HgpaPrecomputation& pre,
+                        const DistributedPrecompute::Result& result) {
+  size_t stored = 0;
+  for (const auto& store : result.stores) stored += store.num_vectors();
+  ASSERT_EQ(stored, pre.items().size());
+
+  for (const auto& item : pre.items()) {
+    size_t machine = MachineOf(result.plan, item);
+    const SparseVector* got =
+        result.stores[machine].Find(item.kind, item.sub, item.node);
+    ASSERT_NE(got, nullptr)
+        << "kind " << static_cast<int>(item.kind) << " sub " << item.sub
+        << " node " << item.node << " missing from machine " << machine;
+    EXPECT_EQ(*got, item.vec) << "vector differs for node " << item.node;
+    for (size_t other = 0; other < result.stores.size(); ++other) {
+      if (other == machine) continue;
+      EXPECT_EQ(result.stores[other].Find(item.kind, item.sub, item.node),
+                nullptr)
+          << "node " << item.node << " duplicated on machine " << other;
+    }
+  }
+}
+
+TEST(DistPrecompute, HgpaVectorsBitIdenticalToCentralized) {
+  Graph g = RandomDigraph(120, 3.0, 7);
+  HgpaOptions options = SmallOptions();
+  auto pre = HgpaPrecomputation::RunHgpa(g, options);
+
+  DistPrecomputeOptions dist;
+  dist.num_machines = 4;
+  DistributedPrecompute::Result result = DistributedPrecompute::Run(
+      g, pre->hierarchy(), options, dist);  // same hierarchy (copied)
+  ExpectBitIdentical(*pre, result);
+}
+
+TEST(DistPrecompute, GpaFlatHierarchyBitIdenticalToCentralized) {
+  Graph g = RandomDigraph(100, 3.0, 21);
+  HgpaOptions options = SmallOptions();
+  auto pre = HgpaPrecomputation::RunGpa(g, 4, options);
+
+  DistPrecomputeOptions dist;
+  dist.num_machines = 3;
+  DistributedPrecompute::Result result =
+      DistributedPrecompute::Run(g, pre->hierarchy(), options, dist);
+  ExpectBitIdentical(*pre, result);
+}
+
+TEST(DistPrecompute, SequentialAndParallelClusterModesAgree) {
+  Graph g = RandomDigraph(90, 3.0, 33);
+  HgpaOptions options = SmallOptions();
+  auto pre = HgpaPrecomputation::RunHgpa(g, options);
+
+  for (bool sequential : {false, true}) {
+    DistPrecomputeOptions dist;
+    dist.num_machines = 5;
+    dist.sequential = sequential;
+    DistributedPrecompute::Result result =
+        DistributedPrecompute::Run(g, pre->hierarchy(), options, dist);
+    ExpectBitIdentical(*pre, result);
+  }
+}
+
+TEST(DistPrecompute, StorageLedgersMatchLegacyDistribute) {
+  Graph g = RandomDigraph(110, 3.0, 55);
+  HgpaOptions options = SmallOptions();
+  auto pre = HgpaPrecomputation::RunHgpa(g, options);
+
+  for (size_t machines : {1u, 3u, 6u}) {
+    HgpaIndex legacy = HgpaIndex::Distribute(pre, machines);
+    DistPrecomputeOptions dist;
+    dist.num_machines = machines;
+    DistributedPrecompute::Result result =
+        DistributedPrecompute::Run(g, pre->hierarchy(), options, dist);
+    EXPECT_EQ(result.MaxMachineBytes(), legacy.MaxMachineBytes());
+    EXPECT_EQ(result.TotalBytes(), legacy.TotalBytes());
+    for (size_t m = 0; m < machines; ++m) {
+      EXPECT_EQ(result.stores[m].TotalSerializedBytes(),
+                legacy.store(m).TotalSerializedBytes())
+          << "machine " << m << " of " << machines;
+    }
+  }
+}
+
+TEST(DistPrecompute, QueriesFromOwnedStoresMatchLegacyEngineExactly) {
+  // Same placement + bit-identical vectors + same fold order ⇒ the two
+  // engines must agree to the last bit, not just within tolerance.
+  Graph g = RandomDigraph(100, 3.0, 90);
+  HgpaOptions options = SmallOptions();
+  auto pre = HgpaPrecomputation::RunHgpa(g, options);
+
+  DistPrecomputeOptions dist;
+  dist.num_machines = 4;
+  DistributedPrecompute::Result result =
+      DistributedPrecompute::Run(g, pre->hierarchy(), options, dist);
+
+  HgpaQueryEngine legacy(HgpaIndex::Distribute(pre, 4));
+  HgpaIndex owned_index = HgpaIndex::FromDistributed(std::move(result));
+  EXPECT_TRUE(owned_index.owns_vectors());
+  HgpaQueryEngine owned(std::move(owned_index));
+
+  for (NodeId q = 0; q < g.num_nodes(); q += 7) {
+    QueryMetrics legacy_metrics;
+    QueryMetrics owned_metrics;
+    SparseVector a = legacy.Query(q, &legacy_metrics);
+    SparseVector b = owned.Query(q, &owned_metrics);
+    EXPECT_EQ(a, b) << "query " << q;
+    EXPECT_EQ(legacy_metrics.comm.messages, owned_metrics.comm.messages);
+    EXPECT_EQ(legacy_metrics.comm.bytes, owned_metrics.comm.bytes);
+  }
+}
+
+TEST(DistPrecompute, GpaQueriesFromOwnedStoresMatchLegacyEngine) {
+  Graph g = RandomDigraph(80, 3.0, 11);
+  HgpaOptions options = SmallOptions();
+  auto pre = HgpaPrecomputation::RunGpa(g, 4, options);
+
+  DistPrecomputeOptions dist;
+  dist.num_machines = 3;
+  dist.sequential = true;
+  DistributedPrecompute::Result result =
+      DistributedPrecompute::Run(g, pre->hierarchy(), options, dist);
+  HgpaQueryEngine legacy(HgpaIndex::Distribute(pre, 3));
+  HgpaQueryEngine owned(HgpaIndex::FromDistributed(std::move(result)));
+  for (NodeId q = 0; q < g.num_nodes(); q += 13) {
+    EXPECT_EQ(legacy.Query(q), owned.Query(q)) << "query " << q;
+  }
+}
+
+TEST(DistPrecompute, OfflineStatsCountSuperstepsAndTraffic) {
+  Graph g = RandomDigraph(100, 3.0, 64);
+  HgpaOptions options = SmallOptions();
+
+  DistPrecomputeOptions dist;
+  dist.num_machines = 4;
+  DistributedPrecompute::Result result =
+      DistributedPrecompute::RunHgpa(g, options, dist);
+
+  // One leaf round plus a skeleton and a partial round per level with hubs.
+  size_t hub_levels = 0;
+  std::vector<bool> seen(result.hierarchy->num_levels(), false);
+  for (const auto& sub : result.hierarchy->subgraphs()) {
+    if (!sub.hubs.empty() && !seen[sub.level]) {
+      seen[sub.level] = true;
+      ++hub_levels;
+    }
+  }
+  EXPECT_EQ(result.offline.rounds, 1 + 2 * hub_levels);
+  // Every round ships one message per machine to the coordinator.
+  EXPECT_EQ(result.offline.comm.messages,
+            result.offline.rounds * dist.num_machines);
+  // All shipped payload bytes materialized as stored vectors plus record
+  // headers, so traffic must dominate the stores' serialized footprint.
+  EXPECT_GT(result.offline.comm.bytes, result.TotalBytes());
+  EXPECT_GT(result.offline.simulated_seconds, 0.0);
+  EXPECT_GT(result.ledger.TotalSeconds(), 0.0);
+  EXPECT_EQ(result.ledger.num_machines(), dist.num_machines);
+}
+
+TEST(DistPrecompute, CommBytesIndependentOfNetworkModel) {
+  Graph g = RandomDigraph(80, 3.0, 29);
+  HgpaOptions options = SmallOptions();
+
+  DistPrecomputeOptions slow;
+  slow.num_machines = 3;
+  slow.sequential = true;
+  slow.network = NetworkModel::Lan100Mbit();
+  DistPrecomputeOptions fast = slow;
+  fast.network = NetworkModel::Datacenter();
+
+  DistributedPrecompute::Result a =
+      DistributedPrecompute::RunHgpa(g, options, slow);
+  DistributedPrecompute::Result b =
+      DistributedPrecompute::RunHgpa(g, options, fast);
+  EXPECT_EQ(a.offline.comm.bytes, b.offline.comm.bytes);
+  EXPECT_EQ(a.offline.comm.messages, b.offline.comm.messages);
+  EXPECT_EQ(a.TotalBytes(), b.TotalBytes());
+}
+
+TEST(DistPrecompute, SingleMachineClusterHoldsEverything) {
+  Graph g = RandomDigraph(60, 3.0, 42);
+  HgpaOptions options = SmallOptions();
+  auto pre = HgpaPrecomputation::RunHgpa(g, options);
+
+  DistPrecomputeOptions dist;
+  dist.num_machines = 1;
+  DistributedPrecompute::Result result =
+      DistributedPrecompute::Run(g, pre->hierarchy(), options, dist);
+  EXPECT_EQ(result.stores[0].num_vectors(), pre->items().size());
+  EXPECT_EQ(result.stores[0].num_owned(), pre->items().size());
+  EXPECT_EQ(result.TotalBytes(), pre->TotalBytes());
+}
+
+TEST(DistPrecompute, PreferenceSetQueriesMatchAcrossPaths) {
+  Graph g = RandomDigraph(90, 3.0, 77);
+  HgpaOptions options = SmallOptions();
+  auto pre = HgpaPrecomputation::RunHgpa(g, options);
+
+  DistPrecomputeOptions dist;
+  dist.num_machines = 4;
+  DistributedPrecompute::Result result =
+      DistributedPrecompute::Run(g, pre->hierarchy(), options, dist);
+  HgpaQueryEngine legacy(HgpaIndex::Distribute(pre, 4));
+  HgpaQueryEngine owned(HgpaIndex::FromDistributed(std::move(result)));
+
+  std::vector<HgpaQueryEngine::Preference> prefs{{5, 0.5}, {42, 0.3}, {77, 0.2}};
+  EXPECT_EQ(legacy.QueryPreferenceSet(prefs), owned.QueryPreferenceSet(prefs));
+}
+
+}  // namespace
+}  // namespace dppr

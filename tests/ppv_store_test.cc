@@ -1,0 +1,282 @@
+#include "dppr/core/ppv_store.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "dppr/common/rng.h"
+
+namespace dppr {
+namespace {
+
+SparseVector TestVector(uint64_t seed, size_t entries) {
+  Rng rng(seed);
+  std::vector<SparseVector::Entry> out;
+  for (size_t i = 0; i < entries; ++i) {
+    out.push_back({static_cast<NodeId>(rng.Uniform(1u << 20)),
+                   rng.NextDouble() - 0.5});
+  }
+  return SparseVector::FromEntries(std::move(out));
+}
+
+TEST(MakeVectorKey, PacksDisjointFields) {
+  uint64_t a = MakeVectorKey(VectorKind::kHubPartial, 1, 2);
+  uint64_t b = MakeVectorKey(VectorKind::kSkeletonColumn, 1, 2);
+  uint64_t c = MakeVectorKey(VectorKind::kHubPartial, 2, 1);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(MakeVectorKey, OverflowingSubgraphDiesEvenInRelease) {
+  // Regression: these used to be DPPR_DCHECKs, so a release build silently
+  // built an aliased key and returned another vector's data.
+  EXPECT_DEATH(MakeVectorKey(VectorKind::kOwnVector, 1u << 30, 0),
+               "DPPR_CHECK failed");
+}
+
+TEST(MakeVectorKey, OverflowingNodeDiesEvenInRelease) {
+  EXPECT_DEATH(MakeVectorKey(VectorKind::kOwnVector, 0, 1u << 30),
+               "DPPR_CHECK failed");
+}
+
+TEST(PpvStore, OwnedVectorsAreFindable) {
+  PpvStore store;
+  SparseVector vec = TestVector(1, 50);
+  size_t bytes = vec.SerializedBytes();
+  const SparseVector* stored =
+      store.PutOwned(VectorKind::kOwnVector, 3, 7, vec, bytes);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(*stored, vec);
+  EXPECT_EQ(store.Find(VectorKind::kOwnVector, 3, 7), stored);
+  EXPECT_EQ(store.Find(VectorKind::kHubPartial, 3, 7), nullptr);
+  EXPECT_EQ(store.num_vectors(), 1u);
+  EXPECT_EQ(store.num_owned(), 1u);
+  EXPECT_EQ(store.TotalSerializedBytes(), bytes);
+}
+
+TEST(PpvStore, OwnedAddressesSurviveGrowthAndMove) {
+  PpvStore store;
+  std::vector<const SparseVector*> stored;
+  for (NodeId node = 0; node < 200; ++node) {
+    SparseVector vec = TestVector(node, 20);
+    stored.push_back(store.PutOwned(VectorKind::kOwnVector, 0, node, vec,
+                                    vec.SerializedBytes()));
+  }
+  PpvStore moved = std::move(store);
+  for (NodeId node = 0; node < 200; ++node) {
+    EXPECT_EQ(moved.Find(VectorKind::kOwnVector, 0, node), stored[node]);
+  }
+}
+
+TEST(PpvStore, CopyDeepCopiesOwnedVectors) {
+  PpvStore store;
+  SparseVector vec = TestVector(9, 30);
+  store.PutOwned(VectorKind::kSkeletonColumn, 2, 5, vec, vec.SerializedBytes());
+
+  PpvStore copy = store;
+  const SparseVector* original = store.Find(VectorKind::kSkeletonColumn, 2, 5);
+  const SparseVector* copied = copy.Find(VectorKind::kSkeletonColumn, 2, 5);
+  ASSERT_NE(copied, nullptr);
+  EXPECT_NE(copied, original);  // must not alias the source store's memory
+  EXPECT_EQ(*copied, vec);
+  EXPECT_EQ(copy.TotalSerializedBytes(), store.TotalSerializedBytes());
+
+  // The copy stays valid after the source dies.
+  { PpvStore doomed = std::move(store); }
+  EXPECT_EQ(*copy.Find(VectorKind::kSkeletonColumn, 2, 5), vec);
+}
+
+TEST(PpvStore, MixedReferencingAndOwnedCopy) {
+  SparseVector external = TestVector(4, 10);
+  PpvStore store;
+  store.Put(VectorKind::kHubPartial, 1, 1, &external, external.SerializedBytes());
+  SparseVector owned_vec = TestVector(5, 10);
+  store.PutOwned(VectorKind::kOwnVector, 1, 2, owned_vec,
+                 owned_vec.SerializedBytes());
+
+  PpvStore copy = store;
+  // Referencing entries still alias the external vector; owned ones don't.
+  EXPECT_EQ(copy.Find(VectorKind::kHubPartial, 1, 1), &external);
+  EXPECT_NE(copy.Find(VectorKind::kOwnVector, 1, 2),
+            store.Find(VectorKind::kOwnVector, 1, 2));
+  EXPECT_EQ(*copy.Find(VectorKind::kOwnVector, 1, 2), owned_vec);
+}
+
+TEST(PpvStore, BytesLedgerSplitsByKind) {
+  PpvStore store;
+  SparseVector partial = TestVector(1, 40);
+  SparseVector own = TestVector(2, 10);
+  store.PutOwned(VectorKind::kHubPartial, 0, 1, partial,
+                 partial.SerializedBytes());
+  store.PutOwned(VectorKind::kOwnVector, 0, 2, own, own.SerializedBytes());
+  EXPECT_EQ(store.SerializedBytesByKind(VectorKind::kHubPartial),
+            partial.SerializedBytes());
+  EXPECT_EQ(store.SerializedBytesByKind(VectorKind::kOwnVector),
+            own.SerializedBytes());
+  EXPECT_EQ(store.SerializedBytesByKind(VectorKind::kSkeletonColumn), 0u);
+  EXPECT_EQ(store.TotalSerializedBytes(),
+            partial.SerializedBytes() + own.SerializedBytes());
+}
+
+TEST(PpvStore, DuplicateKeyDies) {
+  PpvStore store;
+  SparseVector vec = TestVector(3, 5);
+  store.PutOwned(VectorKind::kOwnVector, 0, 0, vec, vec.SerializedBytes());
+  EXPECT_DEATH(
+      store.PutOwned(VectorKind::kOwnVector, 0, 0, vec, vec.SerializedBytes()),
+      "DPPR_CHECK failed");
+}
+
+TEST(VectorRecord, RoundTripsAllKinds) {
+  for (uint8_t k = 0; k < kNumVectorKinds; ++k) {
+    VectorRecord record;
+    record.kind = static_cast<VectorKind>(k);
+    record.sub = 12345;
+    record.node = (1u << 30) - 1;  // max representable id
+    record.seconds = 0.125;
+    record.vec = TestVector(k, 100);
+
+    ByteWriter writer;
+    record.SerializeTo(writer);
+    ByteReader reader(writer.bytes());
+    VectorRecord back = VectorRecord::Deserialize(reader);
+    EXPECT_TRUE(reader.AtEnd());
+    EXPECT_EQ(back.kind, record.kind);
+    EXPECT_EQ(back.sub, record.sub);
+    EXPECT_EQ(back.node, record.node);
+    EXPECT_DOUBLE_EQ(back.seconds, record.seconds);
+    EXPECT_EQ(back.vec, record.vec);
+  }
+}
+
+TEST(VectorRecord, ConcatenatedRecordsRoundTrip) {
+  // The distributed driver's payloads are record streams read until AtEnd.
+  ByteWriter writer;
+  std::vector<VectorRecord> records;
+  for (NodeId node = 0; node < 5; ++node) {
+    VectorRecord record;
+    record.kind = VectorKind::kOwnVector;
+    record.sub = 7;
+    record.node = node;
+    record.seconds = node * 0.5;
+    record.vec = TestVector(100 + node, 25);
+    record.SerializeTo(writer);
+    records.push_back(std::move(record));
+  }
+  ByteReader reader(writer.bytes());
+  for (const VectorRecord& expected : records) {
+    VectorRecord got = VectorRecord::Deserialize(reader);
+    EXPECT_EQ(got.node, expected.node);
+    EXPECT_EQ(got.vec, expected.vec);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(VectorRecord, IngestChargesStoreAndReturnsSeconds) {
+  VectorRecord record;
+  record.kind = VectorKind::kSkeletonColumn;
+  record.sub = 4;
+  record.node = 9;
+  record.seconds = 2.5;
+  record.vec = TestVector(8, 60);
+  size_t bytes = record.vec.SerializedBytes();
+  SparseVector expected = record.vec;
+
+  PpvStore store;
+  EXPECT_DOUBLE_EQ(store.Ingest(std::move(record)), 2.5);
+  const SparseVector* found = store.Find(VectorKind::kSkeletonColumn, 4, 9);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, expected);
+  EXPECT_EQ(store.TotalSerializedBytes(), bytes);
+}
+
+TEST(VectorRecordDeserialize, UnknownKindDies) {
+  ByteWriter writer;
+  writer.PutU8(7);  // no such VectorKind
+  writer.PutVarU64(0);
+  writer.PutVarU64(0);
+  writer.PutDouble(0.0);
+  writer.PutBlob(nullptr, 0);
+  EXPECT_DEATH(
+      {
+        ByteReader reader(writer.bytes());
+        VectorRecord::Deserialize(reader);
+      },
+      "DPPR_CHECK failed");
+}
+
+TEST(VectorRecordDeserialize, OutOfRangeSubgraphDies) {
+  ByteWriter writer;
+  writer.PutU8(0);
+  writer.PutVarU64(1ull << 30);  // exceeds the key's 30-bit subgraph field
+  writer.PutVarU64(0);
+  writer.PutDouble(0.0);
+  writer.PutBlob(nullptr, 0);
+  EXPECT_DEATH(
+      {
+        ByteReader reader(writer.bytes());
+        VectorRecord::Deserialize(reader);
+      },
+      "DPPR_CHECK failed");
+}
+
+TEST(VectorRecordDeserialize, TruncatedPayloadDies) {
+  VectorRecord record;
+  record.kind = VectorKind::kHubPartial;
+  record.sub = 1;
+  record.node = 2;
+  record.vec = TestVector(11, 20);
+  ByteWriter writer;
+  record.SerializeTo(writer);
+  std::vector<uint8_t> truncated(writer.bytes().begin(),
+                                 writer.bytes().end() - 7);
+  EXPECT_DEATH(
+      {
+        ByteReader reader(truncated.data(), truncated.size());
+        VectorRecord::Deserialize(reader);
+      },
+      "DPPR_CHECK failed");
+}
+
+TEST(VectorRecordDeserialize, OversizedBlobLengthDies) {
+  // Hostile blob length claiming more bytes than remain must die up front
+  // (wrap-safe bounds check), not read out of bounds.
+  ByteWriter writer;
+  writer.PutU8(0);
+  writer.PutVarU64(1);
+  writer.PutVarU64(1);
+  writer.PutDouble(0.0);
+  writer.PutVarU64(~0ull);  // blob "length"
+  writer.PutU8(0);
+  EXPECT_DEATH(
+      {
+        ByteReader reader(writer.bytes());
+        VectorRecord::Deserialize(reader);
+      },
+      "DPPR_CHECK failed");
+}
+
+TEST(VectorRecordDeserialize, TrailingGarbageInsideBlobDies) {
+  // A blob longer than the vector it frames hides trailing bytes — corrupt.
+  ByteWriter vec_bytes;
+  SparseVector vec = TestVector(13, 3);
+  vec.SerializeTo(vec_bytes);
+  ByteWriter writer;
+  writer.PutU8(2);
+  writer.PutVarU64(0);
+  writer.PutVarU64(5);
+  writer.PutDouble(1.0);
+  std::vector<uint8_t> padded = vec_bytes.bytes();
+  padded.push_back(0xAB);
+  writer.PutBlob(padded.data(), padded.size());
+  EXPECT_DEATH(
+      {
+        ByteReader reader(writer.bytes());
+        VectorRecord::Deserialize(reader);
+      },
+      "DPPR_CHECK failed");
+}
+
+}  // namespace
+}  // namespace dppr

@@ -153,6 +153,49 @@ TEST(SparseVectorDeserialize, HostileEntryCountDies) {
       "DPPR_CHECK failed");
 }
 
+TEST(SparseVectorDeserialize, WrappedIndexDeltaDies) {
+  // A well-framed payload can still smuggle a delta that wraps NodeId; the
+  // downstream accumulate bounds checks are DPPR_DCHECK-only, so the reader
+  // must reject ids outside the 30-bit range every node id obeys.
+  ByteWriter writer;
+  writer.PutVarU64(2);
+  writer.PutVarU64(5);
+  writer.PutDouble(1.0);
+  writer.PutVarU64(0xFFFFFFF0ull);  // wraps past 2^30
+  writer.PutDouble(2.0);
+  EXPECT_DEATH(
+      {
+        ByteReader reader(writer.bytes());
+        SparseVector::Deserialize(reader);
+      },
+      "DPPR_CHECK failed");
+}
+
+TEST(SparseVectorDeserialize, DuplicateIndexDies) {
+  // Zero deltas after the first entry would break the sorted-unique invariant
+  // ValueAt's binary search relies on; the serializer never emits them.
+  ByteWriter writer;
+  writer.PutVarU64(2);
+  writer.PutVarU64(7);
+  writer.PutDouble(1.0);
+  writer.PutVarU64(0);  // duplicate index 7
+  writer.PutDouble(2.0);
+  EXPECT_DEATH(
+      {
+        ByteReader reader(writer.bytes());
+        SparseVector::Deserialize(reader);
+      },
+      "DPPR_CHECK failed");
+}
+
+TEST(SparseVectorDeserialize, MaxRepresentableIdRoundTrips) {
+  SparseVector v = SparseVector::FromEntries({{0, 1.0}, {(1u << 30) - 1, 2.0}});
+  ByteWriter writer;
+  v.SerializeTo(writer);
+  ByteReader reader(writer.bytes());
+  EXPECT_EQ(SparseVector::Deserialize(reader), v);
+}
+
 TEST(DenseAccumulator, ToSparseCancellationStillListed) {
   DenseAccumulator acc(4);
   acc.Add(2, 1.0);
