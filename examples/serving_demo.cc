@@ -3,8 +3,15 @@
 // batcher folding compatible requests into shared cluster rounds (mean
 // batch > 1 under load), the realized QPS / latency percentiles, and a
 // top-k query — the recommendation-shaped request a real front-end sends.
+//
+// With --disk the index lives in per-machine spill files behind a residency
+// cache sized to the max machine ledger: same answers, and the stats line
+// shows cold vs. warm serving — first touches read from disk, then the
+// working set serves from cache. Sweep the budget down with
+// ./build/fig_store_residency to watch the thrash point.
 
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -12,16 +19,30 @@
 #include "dppr/graph/datasets.h"
 #include "dppr/serve/query_server.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dppr;
+  bool disk = argc > 1 && std::strcmp(argv[1], "--disk") == 0;
   Graph g = WebLike(0.3);
   std::printf("web-like graph: %zu nodes, %zu edges\n", g.num_nodes(),
               g.num_edges());
 
   auto pre = HgpaPrecomputation::RunHgpa(g, HgpaOptions{});
-  std::printf("precomputation done; serving from 6 simulated machines\n\n");
 
-  QueryServer server(HgpaQueryEngine(HgpaIndex::Distribute(pre, 6)));
+  StorageOptions storage = StorageOptions::FromEnv();
+  if (disk) {
+    // Probe the per-machine ledger with a cheap referencing (no-spill)
+    // placement, then budget the real disk store's cache to it.
+    StorageOptions probe;
+    probe.backend = StorageBackend::kMemoryRef;
+    storage.backend = StorageBackend::kDisk;
+    storage.cache_bytes =
+        HgpaIndex::Distribute(pre, 6, probe).MaxMachineBytes();
+  }
+  std::printf("precomputation done; serving from 6 simulated machines "
+              "(%s store)\n\n",
+              StorageBackendName(storage.backend));
+
+  QueryServer server(HgpaQueryEngine(HgpaIndex::Distribute(pre, 6, storage)));
 
   Rng rng(7);
   constexpr size_t kQueriesPerClient = 50;
@@ -46,6 +67,22 @@ int main() {
     std::printf("%-9zu %10.0f %10.2f %10.2f %11.2f %8llu\n", clients,
                 stats.qps, stats.p50_latency_ms, stats.p95_latency_ms,
                 stats.mean_batch, static_cast<unsigned long long>(stats.rounds));
+  }
+
+  if (disk) {
+    // Whole-run residency picture (stats windows were reset per row above,
+    // so re-read the monotonic store counters directly).
+    StorageStats storage_stats = server.engine().index().StorageStatsTotal();
+    double lookups = static_cast<double>(storage_stats.cache_hits +
+                                         storage_stats.cache_misses);
+    std::printf("\ndisk store: %.1f%% cache hit rate, %.2f MB read from "
+                "spill files, %.2f MB resident (budget %.2f MB/machine)\n",
+                lookups > 0 ? 100.0 * static_cast<double>(storage_stats.cache_hits) / lookups
+                            : 0.0,
+                static_cast<double>(storage_stats.disk_bytes_read) / (1 << 20),
+                static_cast<double>(server.engine().index().ResidentBytesTotal()) /
+                    (1 << 20),
+                static_cast<double>(storage.cache_bytes) / (1 << 20));
   }
 
   // A preference-set request (user taste profile) and its top neighbours.

@@ -22,4 +22,9 @@ int64_t GetEnvInt(const std::string& name, int64_t fallback) {
   return static_cast<int64_t>(v);
 }
 
+std::string GetEnvString(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
 }  // namespace dppr

@@ -13,6 +13,10 @@ double GetEnvDouble(const std::string& name, double fallback);
 /// Reads an integer environment variable with fallback.
 int64_t GetEnvInt(const std::string& name, int64_t fallback);
 
+/// Reads a string environment variable, returning `fallback` when unset.
+/// The storage layer uses DPPR_STORE / DPPR_SPILL_DIR.
+std::string GetEnvString(const std::string& name, const std::string& fallback);
+
 }  // namespace dppr
 
 #endif  // DPPR_COMMON_ENV_H_

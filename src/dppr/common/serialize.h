@@ -112,6 +112,20 @@ class ByteReader {
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
 
+  /// Current read offset from the start of the buffer. Together with Slice
+  /// this lets a consumer that just parsed (and thereby validated) a message
+  /// recover its exact wire bytes — e.g. the disk store streams each ingested
+  /// record's raw bytes to its spill file instead of re-serializing.
+  size_t position() const { return pos_; }
+
+  /// View of the bytes in [begin, end); bounds-checked, no copy, valid while
+  /// the underlying buffer lives.
+  std::span<const uint8_t> Slice(size_t begin, size_t end) const {
+    DPPR_CHECK_LE(begin, end);
+    DPPR_CHECK_LE(end, size_);
+    return {data_ + begin, end - begin};
+  }
+
  private:
   template <typename T>
   T GetRaw() {

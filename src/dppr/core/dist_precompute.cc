@@ -48,21 +48,24 @@ DistributedPrecompute::Result DistributedPrecompute::Run(
   result.hierarchy = std::make_shared<const Hierarchy>(std::move(hierarchy));
   result.options = options;
   result.plan = PlacementPlan::Build(*result.hierarchy, num_machines);
-  result.stores.resize(num_machines);
+  result.stores.reserve(num_machines);
+  for (size_t m = 0; m < num_machines; ++m) result.stores.emplace_back(dist.storage);
   result.ledger = MachineTimeLedger(num_machines);
 
   const Hierarchy& h = *result.hierarchy;
   SimCluster cluster(num_machines, dist.network, dist.sequential);
 
-  // Coordinator reduce shared by every superstep: machine m's payload fills
-  // machine m's owned store, and each record's compute time is charged to
+  // Coordinator reduce shared by every superstep: machine m's payload
+  // streams record by record into machine m's store (straight to its spill
+  // file under the disk backend — the coordinator never materializes a
+  // machine's index in RAM), and each record's compute time is charged to
   // that machine's offline ledger. Record order within a payload is the
   // producing task's deterministic iteration order.
   auto ingest = [&](SimCluster::RoundResult& round) {
     for (size_t m = 0; m < num_machines; ++m) {
       ByteReader reader(round.payloads[m]);
       while (!reader.AtEnd()) {
-        result.ledger.Add(m, result.stores[m].Ingest(VectorRecord::Deserialize(reader)));
+        result.ledger.Add(m, result.stores[m].IngestFrom(reader));
       }
     }
   };

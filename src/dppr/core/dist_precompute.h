@@ -5,11 +5,11 @@
 #include <vector>
 
 #include "dppr/core/placement.h"
-#include "dppr/core/ppv_store.h"
 #include "dppr/core/precompute.h"
 #include "dppr/dist/cluster.h"
 #include "dppr/graph/graph.h"
 #include "dppr/partition/hierarchy.h"
+#include "dppr/store/ppv_store.h"
 
 namespace dppr {
 
@@ -20,6 +20,10 @@ struct DistPrecomputeOptions {
   /// Run each round's machine tasks in machine order on the calling thread
   /// (fully deterministic scheduling) instead of on the process ThreadPool.
   bool sequential = false;
+  /// Backend of each machine's store. Defaults to in-memory owning;
+  /// DPPR_STORE=disk spills every ingested record to per-machine spill files
+  /// instead, so coordinator RAM stays bounded by one record per ingest.
+  StorageOptions storage = StorageOptions::FromEnv(StorageBackend::kMemoryOwned);
 };
 
 /// The paper's *distributed offline phase* (§5): plans per-machine work from

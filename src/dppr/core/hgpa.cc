@@ -11,7 +11,7 @@ namespace dppr {
 
 HgpaIndex HgpaIndex::Distribute(
     std::shared_ptr<const HgpaPrecomputation> precomputation,
-    size_t num_machines) {
+    size_t num_machines, const StorageOptions& storage) {
   DPPR_CHECK(precomputation != nullptr);
   DPPR_CHECK_GE(num_machines, 1u);
 
@@ -27,7 +27,8 @@ HgpaIndex HgpaIndex::Distribute(
   const Hierarchy& hierarchy = *index.hierarchy_;
 
   PlacementPlan plan = PlacementPlan::Build(hierarchy, num_machines);
-  index.stores_.resize(num_machines);
+  index.stores_.reserve(num_machines);
+  for (size_t m = 0; m < num_machines; ++m) index.stores_.emplace_back(storage);
   index.offline_ = MachineTimeLedger(num_machines);
 
   auto place = [&](VectorKind kind, SubgraphId sub, NodeId node, size_t machine) {
@@ -92,6 +93,18 @@ std::vector<size_t> HgpaIndex::BytesPerMachine() const {
   return bytes;
 }
 
+StorageStats HgpaIndex::StorageStatsTotal() const {
+  StorageStats total;
+  for (const auto& store : stores_) total += store.storage_stats();
+  return total;
+}
+
+size_t HgpaIndex::ResidentBytesTotal() const {
+  size_t total = 0;
+  for (const auto& store : stores_) total += store.ResidentBytes();
+  return total;
+}
+
 HgpaQueryEngine::HgpaQueryEngine(HgpaIndex index, NetworkModel network)
     : index_(std::move(index)), cluster_(index_.num_machines(), network) {}
 
@@ -133,9 +146,11 @@ void HgpaQueryEngine::AccumulateQuery(size_t machine,
       auto it = my_hubs.find(sub);
       if (it == my_hubs.end()) continue;
       for (NodeId hub : it->second) {
-        const SparseVector* skeleton =
-            store.Find(VectorKind::kSkeletonColumn, sub, hub);
-        DPPR_DCHECK(skeleton != nullptr);
+        // PpvRef pins keep each vector resident for exactly the fold that
+        // uses it — under the disk backend the residency cache may evict it
+        // the moment the pin drops.
+        PpvRef skeleton = store.Find(VectorKind::kSkeletonColumn, sub, hub);
+        DPPR_DCHECK(skeleton);
         double s = skeleton->ValueAt(query);
         if (s == 0.0) continue;
         // Hub-coordinate replacement: coordinate h gets its exact local PPV
@@ -145,9 +160,8 @@ void HgpaQueryEngine::AccumulateQuery(size_t machine,
         // hub's partial vector over the non-hub coordinates.
         if (query == hub) s -= alpha;
         if (s == 0.0) continue;
-        const SparseVector* partial =
-            store.Find(VectorKind::kHubPartial, sub, hub);
-        DPPR_DCHECK(partial != nullptr);
+        PpvRef partial = store.Find(VectorKind::kHubPartial, sub, hub);
+        DPPR_DCHECK(partial);
         acc.AddVector(*partial, query_weight * s / alpha);
       }
     }
@@ -158,8 +172,8 @@ void HgpaQueryEngine::AccumulateQuery(size_t machine,
       SubgraphId final_sub = hierarchy.final_subgraph(query);
       VectorKind kind = hierarchy.is_hub(query) ? VectorKind::kHubPartial
                                                 : VectorKind::kOwnVector;
-      const SparseVector* own = store.Find(kind, final_sub, query);
-      DPPR_DCHECK(own != nullptr);
+      PpvRef own = store.Find(kind, final_sub, query);
+      DPPR_DCHECK(own);
       acc.AddVector(*own, query_weight);
     }
   }

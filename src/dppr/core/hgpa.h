@@ -8,10 +8,10 @@
 
 #include "dppr/core/dist_precompute.h"
 #include "dppr/core/placement.h"
-#include "dppr/core/ppv_store.h"
 #include "dppr/core/precompute.h"
 #include "dppr/dist/cluster.h"
 #include "dppr/ppr/sparse_vector.h"
+#include "dppr/store/ppv_store.h"
 
 namespace dppr {
 
@@ -24,13 +24,16 @@ namespace dppr {
 /// distributed offline run (stores own their vectors).
 class HgpaIndex {
  public:
-  /// Places `precomputation` onto `num_machines` machines. Cheap relative to
-  /// precomputation (vectors are shared, not copied), so machine sweeps can
-  /// redistribute one precomputation many times. Retained as the bit-equality
-  /// oracle for the distributed offline path.
+  /// Places `precomputation` onto `num_machines` machines. With the default
+  /// referencing backend this is cheap relative to precomputation (vectors
+  /// are shared, not copied), so machine sweeps can redistribute one
+  /// precomputation many times; retained as the bit-equality oracle for the
+  /// distributed offline path. `storage` picks each machine store's backend
+  /// (DPPR_STORE=disk spills every placed vector to per-machine spill files).
   static HgpaIndex Distribute(
       std::shared_ptr<const HgpaPrecomputation> precomputation,
-      size_t num_machines);
+      size_t num_machines,
+      const StorageOptions& storage = StorageOptions::FromEnv());
 
   /// Adopts the machine-owned stores a DistributedPrecompute run produced
   /// (placement is already fixed by the run's PlacementPlan). The offline
@@ -68,6 +71,13 @@ class HgpaIndex {
   size_t MaxMachineBytes() const;
   size_t TotalBytes() const;
   std::vector<size_t> BytesPerMachine() const;
+
+  /// Residency counters summed over machine stores (cache hits/misses and
+  /// spill bytes read; all hits for in-memory backends). Safe to call while
+  /// queries are in flight — this is what ServerStats' cold/warm view reads.
+  StorageStats StorageStatsTotal() const;
+  /// Serialized bytes currently resident in RAM across machine stores.
+  size_t ResidentBytesTotal() const;
 
  private:
   const Graph* graph_ = nullptr;

@@ -6,11 +6,11 @@
 #include <unordered_map>
 #include <vector>
 
-#include "dppr/core/ppv_store.h"
 #include "dppr/graph/graph.h"
 #include "dppr/graph/local_graph.h"
 #include "dppr/partition/hierarchy.h"
 #include "dppr/ppr/ppr_options.h"
+#include "dppr/store/vector_record.h"
 
 namespace dppr {
 

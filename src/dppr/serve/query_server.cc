@@ -14,6 +14,7 @@ QueryServer::QueryServer(HgpaQueryEngine engine, ServeOptions options)
   if (options_.thread_cpu_timer) {
     engine_.set_machine_timer(SimCluster::TimerKind::kThreadCpu);
   }
+  storage_baseline_ = engine_.index().StorageStatsTotal();
 }
 
 QueryServer::Response QueryServer::Query(NodeId node) {
@@ -134,6 +135,11 @@ ServerStats QueryServer::Stats() const {
   stats.p50_latency_ms = PercentileMs(scratch, 0.50);
   stats.p95_latency_ms = PercentileMs(scratch, 0.95);
   stats.comm = comm_;
+  StorageStats storage =
+      engine_.index().StorageStatsTotal().Since(storage_baseline_);
+  stats.cache_hits = storage.cache_hits;
+  stats.cache_misses = storage.cache_misses;
+  stats.disk_bytes_read = storage.disk_bytes_read;
   return stats;
 }
 
@@ -144,6 +150,7 @@ void QueryServer::ResetStats() {
   comm_ = CommStats{};
   latencies_seconds_.clear();
   latency_cursor_ = 0;
+  storage_baseline_ = engine_.index().StorageStatsTotal();
   window_.Restart();
 }
 

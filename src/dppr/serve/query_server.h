@@ -43,6 +43,13 @@ struct ServerStats {
   double p95_latency_ms = 0.0;
   /// Coordinator ingress across all rounds (bytes shipped).
   CommStats comm;
+  /// Residency view over the window, summed across machine stores: lookups
+  /// served from RAM vs. spill-file reads (cold vs. warm serving). In-memory
+  /// backends only ever count hits; nonzero misses / disk bytes mean the
+  /// disk backend's cache budget is doing real eviction work.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t disk_bytes_read = 0;
 };
 
 /// Concurrent query front-end over one shared HgpaIndex/HgpaQueryEngine.
@@ -133,6 +140,9 @@ class QueryServer {
   uint64_t queries_ = 0;
   uint64_t rounds_ = 0;
   CommStats comm_;
+  /// Storage counters at the window start; Stats() reports deltas from here
+  /// (the stores' own counters are monotonic for their whole lifetime).
+  StorageStats storage_baseline_;
   /// Ring of the last kLatencyWindow request latencies.
   std::vector<double> latencies_seconds_;
   size_t latency_cursor_ = 0;

@@ -1,0 +1,12 @@
+#include "dppr/store/ppv_store.h"
+
+#include "dppr/store/disk_storage.h"
+
+namespace dppr {
+
+PpvStore PpvStore::OpenSpill(const std::string& path,
+                             const StorageOptions& options) {
+  return PpvStore(DiskSpillStorage::OpenExisting(path, options));
+}
+
+}  // namespace dppr

@@ -1,10 +1,14 @@
-#include "dppr/core/ppv_store.h"
-
-#include <utility>
+#include "dppr/store/vector_record.h"
 
 namespace dppr {
 
 void VectorRecord::SerializeTo(ByteWriter& writer) const {
+  Serialize(writer, kind, sub, node, seconds, vec);
+}
+
+void VectorRecord::Serialize(ByteWriter& writer, VectorKind kind, SubgraphId sub,
+                             NodeId node, double seconds,
+                             const SparseVector& vec) {
   writer.PutU8(static_cast<uint8_t>(kind));
   writer.PutVarU64(sub);
   writer.PutVarU64(node);
@@ -38,35 +42,6 @@ VectorRecord VectorRecord::Deserialize(ByteReader& reader) {
   // inside the record — corrupt, not just padded.
   DPPR_CHECK(vec_reader.AtEnd());
   return record;
-}
-
-PpvStore::PpvStore(const PpvStore& other)
-    : map_(other.map_),
-      owned_(other.owned_),
-      total_bytes_(other.total_bytes_),
-      bytes_by_kind_(other.bytes_by_kind_),
-      num_vectors_(other.num_vectors_) {
-  for (auto& [key, vec] : owned_) map_[key] = &vec;
-}
-
-PpvStore& PpvStore::operator=(const PpvStore& other) {
-  if (this != &other) *this = PpvStore(other);
-  return *this;
-}
-
-const SparseVector* PpvStore::PutOwned(VectorKind kind, SubgraphId sub,
-                                       NodeId node, SparseVector vec,
-                                       size_t serialized_bytes) {
-  owned_.emplace_back(MakeVectorKey(kind, sub, node), std::move(vec));
-  const SparseVector* stored = &owned_.back().second;
-  Insert(kind, sub, node, stored, serialized_bytes);
-  return stored;
-}
-
-double PpvStore::Ingest(VectorRecord record) {
-  size_t bytes = record.vec.SerializedBytes();
-  PutOwned(record.kind, record.sub, record.node, std::move(record.vec), bytes);
-  return record.seconds;
 }
 
 }  // namespace dppr

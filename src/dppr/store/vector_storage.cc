@@ -1,0 +1,66 @@
+#include "dppr/store/vector_storage.h"
+
+#include <utility>
+
+#include "dppr/common/env.h"
+#include "dppr/store/disk_storage.h"
+#include "dppr/store/memory_storage.h"
+
+namespace dppr {
+
+const char* StorageBackendName(StorageBackend backend) {
+  switch (backend) {
+    case StorageBackend::kMemoryRef:
+      return "memory-ref";
+    case StorageBackend::kMemoryOwned:
+      return "memory-owned";
+    case StorageBackend::kDisk:
+      return "disk";
+  }
+  DPPR_CHECK(false);
+  return nullptr;
+}
+
+StorageOptions StorageOptions::FromEnv(StorageBackend fallback) {
+  StorageOptions options;
+  options.backend = fallback;
+  std::string store = GetEnvString("DPPR_STORE", "");
+  if (store == "disk") {
+    options.backend = StorageBackend::kDisk;
+  } else if (!store.empty() && store != "memory") {
+    // A typo must fail loudly: silently serving from RAM when the operator
+    // asked for out-of-core storage defeats the point of the knob.
+    std::fprintf(stderr, "unknown DPPR_STORE value: %s\n", store.c_str());
+    DPPR_CHECK(store == "disk" || store == "memory");
+  }
+  int64_t cache = GetEnvInt("DPPR_CACHE_BYTES", static_cast<int64_t>(options.cache_bytes));
+  DPPR_CHECK_GE(cache, 0);
+  options.cache_bytes = static_cast<size_t>(cache);
+  options.spill_dir = GetEnvString("DPPR_SPILL_DIR", "");
+  return options;
+}
+
+double VectorStorage::Ingest(VectorRecord record) {
+  size_t bytes = record.vec.SerializedBytes();
+  PutOwned(record.kind, record.sub, record.node, std::move(record.vec), bytes);
+  return record.seconds;
+}
+
+double VectorStorage::IngestFrom(ByteReader& reader) {
+  return Ingest(VectorRecord::Deserialize(reader));
+}
+
+std::unique_ptr<VectorStorage> MakeVectorStorage(const StorageOptions& options) {
+  switch (options.backend) {
+    case StorageBackend::kMemoryRef:
+      return std::make_unique<MemoryRefStorage>();
+    case StorageBackend::kMemoryOwned:
+      return std::make_unique<MemoryOwnedStorage>();
+    case StorageBackend::kDisk:
+      return std::make_unique<DiskSpillStorage>(options);
+  }
+  DPPR_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace dppr

@@ -35,16 +35,14 @@ void ExpectBitIdentical(const HgpaPrecomputation& pre,
 
   for (const auto& item : pre.items()) {
     size_t machine = MachineOf(result.plan, item);
-    const SparseVector* got =
-        result.stores[machine].Find(item.kind, item.sub, item.node);
-    ASSERT_NE(got, nullptr)
+    PpvRef got = result.stores[machine].Find(item.kind, item.sub, item.node);
+    ASSERT_TRUE(got)
         << "kind " << static_cast<int>(item.kind) << " sub " << item.sub
         << " node " << item.node << " missing from machine " << machine;
     EXPECT_EQ(*got, item.vec) << "vector differs for node " << item.node;
     for (size_t other = 0; other < result.stores.size(); ++other) {
       if (other == machine) continue;
-      EXPECT_EQ(result.stores[other].Find(item.kind, item.sub, item.node),
-                nullptr)
+      EXPECT_FALSE(result.stores[other].Find(item.kind, item.sub, item.node))
           << "node " << item.node << " duplicated on machine " << other;
     }
   }

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "dppr/core/ppv_store.h"
+#include "dppr/store/vector_record.h"
 #include "dppr/graph/datasets.h"
 #include "test_util.h"
 

@@ -20,4 +20,14 @@ Graph RandomDigraph(size_t num_nodes, double avg_degree, uint64_t seed,
   return builder.Build(options);
 }
 
+SparseVector RandomSparseVector(uint64_t seed, size_t entries) {
+  Rng rng(seed);
+  std::vector<SparseVector::Entry> out;
+  for (size_t i = 0; i < entries; ++i) {
+    out.push_back({static_cast<NodeId>(rng.Uniform(1u << 20)),
+                   rng.NextDouble() - 0.5});
+  }
+  return SparseVector::FromEntries(std::move(out));
+}
+
 }  // namespace dppr::testing

@@ -8,6 +8,7 @@
 #include "dppr/graph/graph_builder.h"
 #include "dppr/graph/local_graph.h"
 #include "dppr/ppr/ppr_options.h"
+#include "dppr/ppr/sparse_vector.h"
 
 namespace dppr::testing {
 
@@ -16,6 +17,10 @@ namespace dppr::testing {
 /// all PPR engines agree on semantics.
 Graph RandomDigraph(size_t num_nodes, double avg_degree, uint64_t seed,
                     bool self_loop_dangling = true);
+
+/// Deterministic random sparse vector (duplicate indices merged) — the
+/// storage test suites' shared payload generator.
+SparseVector RandomSparseVector(uint64_t seed, size_t entries);
 
 /// A GraphView adapter over another view that hides the out-edges of blocked
 /// nodes (their degree denominator is preserved). Mass entering a blocked
