@@ -9,6 +9,11 @@
 // shows cold vs. warm serving — first touches read from disk, then the
 // working set serves from cache. Sweep the budget down with
 // ./build/fig_store_residency to watch the thrash point.
+//
+// With --transport=tcp every query round's PPV fragments travel through real
+// localhost sockets (one listener per simulated machine) instead of the
+// in-process hand-off: same answers, same coordinator bytes, real kernel
+// crossings. ./build/fig_transport_overhead measures the difference.
 
 #include <cstdio>
 #include <cstring>
@@ -17,11 +22,26 @@
 
 #include "dppr/common/rng.h"
 #include "dppr/graph/datasets.h"
+#include "dppr/net/transport.h"
 #include "dppr/serve/query_server.h"
 
 int main(int argc, char** argv) {
   using namespace dppr;
-  bool disk = argc > 1 && std::strcmp(argv[1], "--disk") == 0;
+  bool disk = false;
+  TransportOptions transport = TransportOptions::FromEnv();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--disk") == 0) {
+      disk = true;
+    } else if (std::strcmp(argv[i], "--transport=tcp") == 0) {
+      transport.backend = TransportBackend::kTcp;
+    } else if (std::strcmp(argv[i], "--transport=inproc") == 0) {
+      transport.backend = TransportBackend::kInProcess;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--disk] [--transport=inproc|tcp]\n", argv[0]);
+      return 1;
+    }
+  }
   Graph g = WebLike(0.3);
   std::printf("web-like graph: %zu nodes, %zu edges\n", g.num_nodes(),
               g.num_edges());
@@ -39,10 +59,12 @@ int main(int argc, char** argv) {
         HgpaIndex::Distribute(pre, 6, probe).MaxMachineBytes();
   }
   std::printf("precomputation done; serving from 6 simulated machines "
-              "(%s store)\n\n",
-              StorageBackendName(storage.backend));
+              "(%s store, %s transport)\n\n",
+              StorageBackendName(storage.backend),
+              TransportBackendName(transport.backend));
 
-  QueryServer server(HgpaQueryEngine(HgpaIndex::Distribute(pre, 6, storage)));
+  QueryServer server(HgpaQueryEngine(HgpaIndex::Distribute(pre, 6, storage),
+                                     NetworkModel{}, transport));
 
   Rng rng(7);
   constexpr size_t kQueriesPerClient = 50;

@@ -53,7 +53,8 @@ DistributedPrecompute::Result DistributedPrecompute::Run(
   result.ledger = MachineTimeLedger(num_machines);
 
   const Hierarchy& h = *result.hierarchy;
-  SimCluster cluster(num_machines, dist.network, dist.sequential);
+  SimCluster cluster(num_machines, dist.network, dist.sequential,
+                     dist.transport);
 
   // Coordinator reduce shared by every superstep: machine m's payload
   // streams record by record into machine m's store (straight to its spill

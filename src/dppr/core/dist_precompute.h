@@ -24,6 +24,11 @@ struct DistPrecomputeOptions {
   /// DPPR_STORE=disk spills every ingested record to per-machine spill files
   /// instead, so coordinator RAM stays bounded by one record per ingest.
   StorageOptions storage = StorageOptions::FromEnv(StorageBackend::kMemoryOwned);
+  /// Message layer every superstep's payloads travel over. Defaults to the
+  /// in-process hand-off; DPPR_TRANSPORT=tcp moves them through real
+  /// localhost sockets. Produced vectors and byte ledgers are bit-identical
+  /// either way (net_equivalence_test enforces this).
+  TransportOptions transport = TransportOptions::FromEnv();
 };
 
 /// The paper's *distributed offline phase* (§5): plans per-machine work from

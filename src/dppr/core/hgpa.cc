@@ -105,8 +105,10 @@ size_t HgpaIndex::ResidentBytesTotal() const {
   return total;
 }
 
-HgpaQueryEngine::HgpaQueryEngine(HgpaIndex index, NetworkModel network)
-    : index_(std::move(index)), cluster_(index_.num_machines(), network) {}
+HgpaQueryEngine::HgpaQueryEngine(HgpaIndex index, NetworkModel network,
+                                 TransportOptions transport)
+    : index_(std::move(index)),
+      cluster_(index_.num_machines(), network, /*sequential=*/false, transport) {}
 
 std::vector<uint8_t> HgpaQueryEngine::MachineTask(
     size_t machine, std::span<const std::span<const Preference>> queries) const {

@@ -122,8 +122,12 @@ class HgpaQueryEngine {
  public:
   /// Takes the index by value: an index is a cheap handle (vector stores
   /// reference the shared precomputation), and owning it keeps the engine
-  /// safe to build from temporaries.
-  explicit HgpaQueryEngine(HgpaIndex index, NetworkModel network = {});
+  /// safe to build from temporaries. `transport` picks the message layer the
+  /// per-query fragment rounds travel over (DPPR_TRANSPORT=tcp → real
+  /// localhost sockets); answers and fragment byte accounting are
+  /// bit-identical across backends.
+  explicit HgpaQueryEngine(HgpaIndex index, NetworkModel network = {},
+                           TransportOptions transport = TransportOptions::FromEnv());
 
   /// Switches how machine compute time is measured (see SimCluster::TimerKind;
   /// the serving layer uses kThreadCpu so concurrent rounds don't inflate

@@ -1,12 +1,29 @@
 #include "dppr/dist/cluster.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "dppr/common/macros.h"
 #include "dppr/common/thread_pool.h"
 #include "dppr/common/timer.h"
 
 namespace dppr {
+namespace {
+
+/// Runs `fn` under the configured machine timer and returns its seconds.
+template <typename Fn>
+double RunTimed(SimCluster::TimerKind kind, const Fn& fn) {
+  if (kind == SimCluster::TimerKind::kThreadCpu) {
+    ThreadCpuTimer timer;
+    fn();
+    return timer.ElapsedSeconds();
+  }
+  WallTimer timer;
+  fn();
+  return timer.ElapsedSeconds();
+}
+
+}  // namespace
 
 double RoundMetrics::MaxMachineSeconds() const {
   double max = 0.0;
@@ -33,32 +50,34 @@ void MultiRoundStats::Accumulate(const RoundMetrics& round,
 }
 
 SimCluster::SimCluster(size_t num_machines, NetworkModel network,
-                       bool sequential)
+                       bool sequential, TransportOptions transport)
     : num_machines_(num_machines),
       network_(network),
-      sequential_(sequential) {
+      sequential_(sequential),
+      transport_(MakeTransport(num_machines, transport)) {
   DPPR_CHECK_GE(num_machines, 1u);
 }
 
 SimCluster::RoundResult SimCluster::RunRound(const MachineTask& task) const {
   DPPR_CHECK(task != nullptr);
+  const uint64_t round = transport_->AllocateRound(FrameKind::kGather);
   RoundResult result;
-  result.payloads.resize(num_machines_);
   result.metrics.machine_seconds.assign(num_machines_, 0.0);
 
   auto run_machine = [&](size_t machine) {
-    if (timer_ == TimerKind::kThreadCpu) {
-      ThreadCpuTimer timer;
-      result.payloads[machine] = task(machine);
-      result.metrics.machine_seconds[machine] = timer.ElapsedSeconds();
-    } else {
-      WallTimer timer;
-      result.payloads[machine] = task(machine);
-      result.metrics.machine_seconds[machine] = timer.ElapsedSeconds();
-    }
+    std::vector<uint8_t> payload;
+    result.metrics.machine_seconds[machine] =
+        RunTimed(timer_, [&] { payload = task(machine); });
+    // The send sits outside the machine timer: machine_seconds charges task
+    // compute only, so measured compute stays comparable across transport
+    // backends (the socket tax shows up in wall clock and benches instead).
+    transport_->SendToCoordinator(round, machine, std::move(payload));
   };
 
   if (sequential_ || num_machines_ == 1) {
+    // Sends complete before the gather starts; the transport buffers them
+    // (in-process mailbox / kernel socket buffers drained by the receive
+    // loop), so sequential mode cannot deadlock.
     for (size_t machine = 0; machine < num_machines_; ++machine) {
       run_machine(machine);
     }
@@ -66,8 +85,10 @@ SimCluster::RoundResult SimCluster::RunRound(const MachineTask& task) const {
     ThreadPool::Default().ParallelFor(num_machines_, run_machine);
   }
 
+  result.payloads = transport_->GatherRound(round);
+  DPPR_CHECK_EQ(result.payloads.size(), num_machines_);
   // Charge traffic in machine order so CommStats is independent of which
-  // worker finished first.
+  // worker finished first (GatherRound indexes payloads by machine).
   for (const auto& payload : result.payloads) {
     result.metrics.to_coordinator.Record(payload.size());
   }
@@ -85,6 +106,43 @@ SimCluster::RoundResult SimCluster::RunRound(
     result.metrics.coordinator_seconds = timer.ElapsedSeconds();
   }
   stats->Accumulate(result.metrics, network_);
+  return result;
+}
+
+SimCluster::ExchangeResult SimCluster::RunExchange(const ExchangeTask& task) const {
+  DPPR_CHECK(task != nullptr);
+  const uint64_t round = transport_->AllocateRound(FrameKind::kExchange);
+  ExchangeResult result;
+  result.machine_seconds.assign(num_machines_, 0.0);
+
+  auto run_machine = [&](size_t machine) {
+    std::vector<std::vector<uint8_t>> outbox;
+    result.machine_seconds[machine] =
+        RunTimed(timer_, [&] { outbox = task(machine); });
+    DPPR_CHECK_EQ(outbox.size(), num_machines_);
+    for (size_t dst = 0; dst < num_machines_; ++dst) {
+      transport_->SendToMachine(round, machine, dst, std::move(outbox[dst]));
+    }
+  };
+
+  if (sequential_ || num_machines_ == 1) {
+    for (size_t machine = 0; machine < num_machines_; ++machine) {
+      run_machine(machine);
+    }
+  } else {
+    ThreadPool::Default().ParallelFor(num_machines_, run_machine);
+  }
+
+  // All sends are complete, so the receives below can never wait on a task
+  // that has not run yet — the exchange is a barrier, like a BSP superstep.
+  result.inboxes.resize(num_machines_);
+  for (size_t dst = 0; dst < num_machines_; ++dst) {
+    result.inboxes[dst] = transport_->ReceiveExchange(round, dst);
+    DPPR_CHECK_EQ(result.inboxes[dst].size(), num_machines_);
+  }
+  for (const auto& inbox : result.inboxes) {
+    for (const auto& payload : inbox) result.exchanged.Record(payload.size());
+  }
   return result;
 }
 

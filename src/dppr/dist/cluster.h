@@ -4,10 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "dppr/dist/ledger.h"
 #include "dppr/dist/network.h"
+#include "dppr/net/transport.h"
 
 namespace dppr {
 
@@ -47,18 +49,28 @@ struct MultiRoundStats {
 /// A cluster of `n` simulated machines sharing this process's cores. One
 /// round runs a caller-supplied task per machine on the shared ThreadPool
 /// (tasks only time their own work, so n may far exceed the physical core
-/// count), gathers each machine's serialized payload as if sent to the
-/// coordinator, and reports measured compute plus modeled network cost.
+/// count), ships each machine's serialized payload to the coordinator over
+/// the cluster's Transport, and reports measured compute plus modeled
+/// network cost.
 ///
-/// Threading contract: RunRound is safe to call from many threads at once on
-/// one SimCluster, and from inside another round's machine task. All
-/// per-round state (payloads, metrics, timers) is local to the call, and the
-/// shared ThreadPool scopes each round's machine tasks to a per-call task
-/// group — the pool's earlier single global in-flight counter made one
-/// round's Wait block on every other round's tasks and deadlocked nested
-/// rounds outright, which is why ThreadPool was redesigned around TaskGroup
-/// (see thread_pool.h). The setters (set_sequential, set_timer) are
-/// configuration-time only: don't flip them concurrently with RunRound.
+/// The Transport is where the bytes physically move: InProcessTransport
+/// hands buffers over in memory (the historical behavior), TcpTransport
+/// pushes every payload through real localhost sockets. `DPPR_TRANSPORT=tcp`
+/// flips the default for every cluster in the process; payloads, CommStats,
+/// and results are bit-identical across backends (byte ledgers are computed
+/// from payload sizes, never wire overhead).
+///
+/// Threading contract: RunRound/RunExchange are safe to call from many
+/// threads at once on one SimCluster, and from inside another round's
+/// machine task. All per-round state (payloads, metrics, timers) is local to
+/// the call; concurrent rounds on the shared Transport never mix frames
+/// (each round gets a unique id). The shared ThreadPool scopes each round's
+/// machine tasks to a per-call task group — the pool's earlier single global
+/// in-flight counter made one round's Wait block on every other round's
+/// tasks and deadlocked nested rounds outright, which is why ThreadPool was
+/// redesigned around TaskGroup (see thread_pool.h). The setters
+/// (set_sequential, set_timer) are configuration-time only: don't flip them
+/// concurrently with RunRound.
 class SimCluster {
  public:
   /// Machine task: given the machine index, returns the payload that machine
@@ -69,6 +81,25 @@ class SimCluster {
     /// Payload of machine m at index m, independent of execution order.
     std::vector<std::vector<uint8_t>> payloads;
     RoundMetrics metrics;
+  };
+
+  /// Exchange task: given the machine index, returns one outbound payload
+  /// per destination machine (size must be num_machines(); entries may be
+  /// empty, including the self-addressed one).
+  using ExchangeTask =
+      std::function<std::vector<std::vector<uint8_t>>(size_t machine)>;
+
+  /// Result of one machine→machine shuffle round (the primitive Lin-style
+  /// p2p skeleton shipping builds on; see ROADMAP).
+  struct ExchangeResult {
+    /// inboxes[dst][src]: the payload machine src addressed to machine dst,
+    /// independent of execution order.
+    std::vector<std::vector<std::vector<uint8_t>>> inboxes;
+    /// Measured compute time of each machine's task (outbox construction).
+    std::vector<double> machine_seconds;
+    /// All n² p2p payloads, recorded in (dst, src) order. Every payload
+    /// counts as one message even when empty, mirroring the gather path.
+    CommStats exchanged;
   };
 
   /// What a machine's measured compute time charges. kWallClock matches the
@@ -83,9 +114,11 @@ class SimCluster {
   /// fully deterministic (no scheduler interleaving), at the price of wall
   /// clock. Payloads and CommStats are deterministic in both modes as long as
   /// the task itself is; sequential mode additionally admits tasks that share
-  /// mutable state across machines.
+  /// mutable state across machines. `transport` picks where round payloads
+  /// physically move (default: DPPR_TRANSPORT, else in-process).
   explicit SimCluster(size_t num_machines, NetworkModel network = {},
-                      bool sequential = false);
+                      bool sequential = false,
+                      TransportOptions transport = TransportOptions::FromEnv());
 
   size_t num_machines() const { return num_machines_; }
   const NetworkModel& network() const { return network_; }
@@ -93,8 +126,11 @@ class SimCluster {
   void set_sequential(bool sequential) { sequential_ = sequential; }
   TimerKind timer() const { return timer_; }
   void set_timer(TimerKind timer) { timer_ = timer; }
+  /// Which backend this cluster's rounds actually travel over.
+  TransportBackend transport_backend() const { return transport_->backend(); }
 
-  /// Runs one round: `task(m)` for every machine m, each timed individually.
+  /// Runs one round: `task(m)` for every machine m, each timed individually;
+  /// every payload travels machine → coordinator through the Transport.
   /// The returned metrics have machine_seconds and to_coordinator filled;
   /// coordinator_seconds is left 0 for the caller's reduce phase.
   RoundResult RunRound(const MachineTask& task) const;
@@ -107,11 +143,21 @@ class SimCluster {
                        const std::function<void(RoundResult&)>& reduce,
                        MultiRoundStats* stats) const;
 
+  /// Runs one machine→machine shuffle round: `task(m)` produces machine m's
+  /// outbox, every payload travels p2p through the Transport, and each
+  /// machine's inbox comes back indexed by source. Sends happen while tasks
+  /// run and receives only start after every task finished, so the round is
+  /// deadlock-free in sequential mode and over real sockets alike.
+  ExchangeResult RunExchange(const ExchangeTask& task) const;
+
  private:
   size_t num_machines_;
   NetworkModel network_;
   bool sequential_;
   TimerKind timer_ = TimerKind::kWallClock;
+  /// Shared (not per-round) so concurrent rounds reuse listeners and
+  /// connections; copies of a SimCluster share one transport.
+  std::shared_ptr<Transport> transport_;
 };
 
 }  // namespace dppr

@@ -1,0 +1,81 @@
+#include "dppr/net/frame.h"
+
+#include <cstring>
+
+#include "dppr/common/macros.h"
+#include "dppr/common/serialize.h"
+
+namespace dppr {
+
+uint64_t FrameChecksum(std::span<const uint8_t> payload) {
+  uint64_t hash = 14695981039346656037ull;
+  for (uint8_t byte : payload) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void EncodeFrameHeader(const FrameHeader& header, std::span<uint8_t> out) {
+  DPPR_CHECK_GE(out.size(), kFrameHeaderBytes);
+  // Same ByteWriter the rest of the wire format goes through — one place
+  // owns the byte-order convention and the field layout.
+  ByteWriter writer;
+  writer.PutU32(kFrameMagic);
+  writer.PutU8(static_cast<uint8_t>(header.kind));
+  writer.PutU32(header.src);
+  writer.PutU32(header.dst);
+  writer.PutU64(header.round);
+  writer.PutU64(header.payload_bytes);
+  writer.PutU64(header.checksum);
+  DPPR_CHECK_EQ(writer.size(), kFrameHeaderBytes);
+  std::memcpy(out.data(), writer.bytes().data(), kFrameHeaderBytes);
+}
+
+FrameHeader DecodeFrameHeader(std::span<const uint8_t> bytes) {
+  // A truncated header is hostile input, not a retryable condition: the
+  // stream parser only calls this once kFrameHeaderBytes are buffered.
+  DPPR_CHECK_GE(bytes.size(), kFrameHeaderBytes);
+  ByteReader reader(bytes.data(), bytes.size());
+  DPPR_CHECK_EQ(reader.GetU32(), kFrameMagic);
+  uint8_t kind = reader.GetU8();
+  DPPR_CHECK_LE(kind, static_cast<uint8_t>(FrameKind::kExchange));
+  FrameHeader header;
+  header.kind = static_cast<FrameKind>(kind);
+  header.src = reader.GetU32();
+  header.dst = reader.GetU32();
+  header.round = reader.GetU64();
+  header.payload_bytes = reader.GetU64();
+  header.checksum = reader.GetU64();
+  // Also rejects lengths that would wrap `header + payload` arithmetic.
+  DPPR_CHECK_LE(header.payload_bytes, kMaxFramePayloadBytes);
+  return header;
+}
+
+FrameHeader MakeFrameHeader(FrameKind kind, uint64_t round, uint32_t src,
+                            uint32_t dst, std::span<const uint8_t> payload) {
+  // Producers fail here, at the origin, rather than shipping a frame every
+  // receiver is contractually required to reject.
+  DPPR_CHECK_LE(payload.size(), kMaxFramePayloadBytes);
+  FrameHeader header;
+  header.kind = kind;
+  header.src = src;
+  header.dst = dst;
+  header.round = round;
+  header.payload_bytes = payload.size();
+  header.checksum = FrameChecksum(payload);
+  return header;
+}
+
+std::vector<uint8_t> BuildFrame(FrameKind kind, uint64_t round, uint32_t src,
+                                uint32_t dst, std::span<const uint8_t> payload) {
+  FrameHeader header = MakeFrameHeader(kind, round, src, dst, payload);
+  std::vector<uint8_t> frame(kFrameHeaderBytes + payload.size());
+  EncodeFrameHeader(header, frame);
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kFrameHeaderBytes, payload.data(), payload.size());
+  }
+  return frame;
+}
+
+}  // namespace dppr

@@ -1,0 +1,40 @@
+#include "dppr/net/inproc_transport.h"
+
+#include <utility>
+
+#include "dppr/common/macros.h"
+
+namespace dppr {
+
+InProcessTransport::InProcessTransport(size_t num_machines)
+    : Transport(num_machines), coordinator_(num_machines) {
+  machines_.reserve(num_machines);
+  for (size_t m = 0; m < num_machines; ++m) {
+    machines_.push_back(std::make_unique<FrameInbox>(num_machines));
+  }
+}
+
+void InProcessTransport::SendToCoordinator(uint64_t round, size_t src,
+                                           std::vector<uint8_t> payload) {
+  DPPR_CHECK_LT(src, num_machines());
+  coordinator_.Push(round, src, std::move(payload));
+}
+
+std::vector<std::vector<uint8_t>> InProcessTransport::GatherRound(uint64_t round) {
+  return coordinator_.WaitAll(round);
+}
+
+void InProcessTransport::SendToMachine(uint64_t round, size_t src, size_t dst,
+                                       std::vector<uint8_t> payload) {
+  DPPR_CHECK_LT(src, num_machines());
+  DPPR_CHECK_LT(dst, num_machines());
+  machines_[dst]->Push(round, src, std::move(payload));
+}
+
+std::vector<std::vector<uint8_t>> InProcessTransport::ReceiveExchange(
+    uint64_t round, size_t dst) {
+  DPPR_CHECK_LT(dst, num_machines());
+  return machines_[dst]->WaitAll(round);
+}
+
+}  // namespace dppr

@@ -184,20 +184,62 @@ PpvRef DiskSpillStorage::Find(VectorKind kind, SubgraphId sub, NodeId node) cons
   uint64_t key = MakeVectorKey(kind, sub, node);
   auto eit = extents_.find(key);
   if (eit == extents_.end()) return {};
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto cit = cache_.find(key);
-    if (cit != cache_.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      lru_.splice(lru_.begin(), lru_, cit->second.lru_it);
-      return PpvRef(cit->second.vec);
+  for (;;) {
+    std::shared_ptr<InFlightLoad> load;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto cit = cache_.find(key);
+      if (cit != cache_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        lru_.splice(lru_.begin(), lru_, cit->second.lru_it);
+        return PpvRef(cit->second.vec);
+      }
+      // Singleflight: if another thread is already reading this extent, wait
+      // for its result instead of issuing a duplicate pread. A follower still
+      // counts as a miss (the lookup was not served from RAM) but adds no
+      // disk bytes — the leader's read is billed exactly once.
+      auto fit = inflight_.find(key);
+      if (fit != inflight_.end()) {
+        std::shared_ptr<InFlightLoad> lead = fit->second;
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        lead->done_cv.wait(lock, [&] { return lead->done; });
+        if (!lead->failed) return PpvRef(lead->vec);
+        // The leader unwound without a result; start the lookup over (this
+        // thread may become the next leader and surface the error itself).
+        continue;
+      }
+      // Leader: the load is fully constructed before it enters the table, so
+      // an allocation failure here leaves the table untouched rather than
+      // holding a null entry every later lookup would wait on forever.
+      load = std::make_shared<InFlightLoad>();
+      inflight_.emplace(key, load);
     }
+    return Load(key, kind, sub, node, eit->second, std::move(load));
   }
-  return Load(key, kind, sub, node, eit->second);
 }
 
 PpvRef DiskSpillStorage::Load(uint64_t key, VectorKind kind, SubgraphId sub,
-                              NodeId node, SpillExtent extent) const {
+                              NodeId node, SpillExtent extent,
+                              std::shared_ptr<InFlightLoad> load) const {
+  // If anything below unwinds (the reads and parses allocate, so bad_alloc
+  // is possible), retire the singleflight entry and wake the followers as
+  // failed — otherwise they, and every future lookup of this key, would wait
+  // forever on a result that can no longer arrive.
+  struct AbandonOnUnwind {
+    const DiskSpillStorage* store;
+    uint64_t key;
+    const std::shared_ptr<InFlightLoad>& load;
+    bool armed = true;
+    ~AbandonOnUnwind() {
+      if (!armed) return;
+      std::lock_guard<std::mutex> lock(store->mu_);
+      load->failed = true;
+      load->done = true;
+      store->inflight_.erase(key);
+      load->done_cv.notify_all();
+    }
+  } abandon{this, key, load};
+
   // Disk I/O and deserialization happen outside the cache lock so concurrent
   // misses on different vectors overlap their reads.
   std::vector<uint8_t> buf(extent.length);
@@ -215,13 +257,16 @@ PpvRef DiskSpillStorage::Load(uint64_t key, VectorKind kind, SubgraphId sub,
   std::lock_guard<std::mutex> lock(mu_);
   misses_.fetch_add(1, std::memory_order_relaxed);
   disk_bytes_read_.fetch_add(extent.length, std::memory_order_relaxed);
-  auto cit = cache_.find(key);
-  if (cit != cache_.end()) {
-    // Lost a concurrent load race; keep the incumbent so all pins share one
-    // residency charge.
-    lru_.splice(lru_.begin(), lru_, cit->second.lru_it);
-    return PpvRef(cit->second.vec);
-  }
+  // Publish to followers parked on this load, then retire the singleflight
+  // entry — later lookups either hit the cache or start a fresh load.
+  load->vec = vec;
+  load->done = true;
+  inflight_.erase(key);
+  abandon.armed = false;
+  load->done_cv.notify_all();
+  // The singleflight table guarantees no concurrent load of this key, so the
+  // cache cannot already hold it (insertion only ever happens right here).
+  DPPR_DCHECK(cache_.find(key) == cache_.end());
   lru_.push_front(key);
   cache_.emplace(key, CacheEntry{vec, static_cast<size_t>(extent.length),
                                  lru_.begin()});

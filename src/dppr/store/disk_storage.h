@@ -2,6 +2,7 @@
 #define DPPR_STORE_DISK_STORAGE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -77,6 +78,13 @@ class SpillFile {
 /// eviction drops least-recently-used entries until the budget holds, and
 /// outstanding PpvRef pins keep their vectors alive regardless.
 ///
+/// The miss path is singleflighted: concurrent misses of the same vector
+/// coalesce onto one disk read — the first thread loads, the rest wait for
+/// its result instead of each pread-ing the extent (thundering herds on one
+/// hot vector used to multiply the I/O). Followers still count as cache
+/// misses (the lookup was not served from RAM) but charge no disk bytes;
+/// only the loading thread's read is billed.
+///
 /// Find is thread-safe (cache state under a mutex, disk reads outside it);
 /// writes follow the VectorStorage single-threaded-ingest contract.
 class DiskSpillStorage final : public VectorStorage {
@@ -121,11 +129,25 @@ class DiskSpillStorage final : public VectorStorage {
                     const SparseVector& vec, size_t serialized_bytes);
   void IndexExtent(uint64_t key, SpillExtent extent);
 
-  /// Miss path: pread + validate + insert into the cache (evicting LRU past
-  /// the budget). The just-loaded vector may itself be evicted immediately
-  /// under a tiny budget; the returned pin keeps it alive either way.
+  /// One in-flight load that concurrent misses of the same key rendezvous
+  /// on. Lives in inflight_ while the leader reads; followers keep it alive
+  /// through the shared_ptr after the leader erased the map entry. If the
+  /// leader unwinds without a result (e.g. bad_alloc mid-read), it marks the
+  /// load failed and wakes everyone; followers retry the lookup from scratch
+  /// instead of waiting forever on a result that will never come.
+  struct InFlightLoad {
+    bool done = false;
+    bool failed = false;
+    std::shared_ptr<const SparseVector> vec;
+    std::condition_variable done_cv;
+  };
+
+  /// Leader's miss path: pread + validate + insert into the cache (evicting
+  /// LRU past the budget), then publish through `load` and wake followers.
+  /// The just-loaded vector may itself be evicted immediately under a tiny
+  /// budget; the returned pin keeps it alive either way.
   PpvRef Load(uint64_t key, VectorKind kind, SubgraphId sub, NodeId node,
-              SpillExtent extent) const;
+              SpillExtent extent, std::shared_ptr<InFlightLoad> load) const;
 
   std::shared_ptr<SpillFile> file_;
   size_t cache_budget_;
@@ -143,6 +165,8 @@ class DiskSpillStorage final : public VectorStorage {
   /// Front = most recently used.
   mutable std::list<uint64_t> lru_;
   mutable size_t resident_bytes_ = 0;
+  /// Singleflight table: key -> the load currently reading that extent.
+  mutable std::unordered_map<uint64_t, std::shared_ptr<InFlightLoad>> inflight_;
 };
 
 }  // namespace dppr

@@ -63,6 +63,46 @@ TEST(StoreStress, ConcurrentPinEvictThroughOneVectorBudget) {
   EXPECT_GT(stats.cache_misses, 0u);
 }
 
+TEST(StoreStress, ThunderingHerdMissesCoalesceOntoOneDiskRead) {
+  // Singleflight on the miss path: T threads all missing the same cold
+  // vector must trigger exactly one extent read — the first thread loads,
+  // the rest rendezvous on its result (and later arrivals hit the cache,
+  // which a generous budget keeps warm). Without coalescing this read count
+  // is racy-anything-up-to-T; with it, exactly one, regardless of
+  // interleaving. Runs under TSAN in CI.
+  StorageOptions options;
+  options.backend = StorageBackend::kDisk;
+  options.cache_bytes = 64 << 20;
+  PpvStore store(options);
+  SparseVector expected = RandomSparseVector(7, 80);
+  store.PutOwned(VectorKind::kOwnVector, 0, 7, expected,
+                 expected.SerializedBytes());
+
+  // Learn the record's on-disk extent length from a solo cold read.
+  PpvStore probe = store;  // clone: shares the spill file, fresh cache+stats
+  (void)probe.Find(VectorKind::kOwnVector, 0, 7);
+  const uint64_t extent_bytes = probe.storage_stats().disk_bytes_read;
+  ASSERT_GT(extent_bytes, 0u);
+
+  constexpr size_t kThreads = 8;
+  PpvStore cold = store;  // fresh cache: every thread starts at a miss
+  std::vector<std::thread> threads;
+  std::vector<uint8_t> ok(kThreads, 0);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      PpvRef ref = cold.Find(VectorKind::kOwnVector, 0, 7);
+      ok[t] = (ref && *ref == expected) ? 1 : 0;
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (size_t t = 0; t < kThreads; ++t) EXPECT_TRUE(ok[t]) << "thread " << t;
+
+  StorageStats stats = cold.storage_stats();
+  EXPECT_EQ(stats.disk_bytes_read, extent_bytes);  // exactly one pread
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, kThreads);
+  EXPECT_GE(stats.cache_misses, 1u);  // at least the loading leader
+}
+
 TEST(StoreStress, ConcurrentQueriesThroughTinyCacheStayBitIdentical) {
   // Whole-stack version: K client threads against a QueryServer whose index
   // lives on disk behind a pathologically small cache. Answers must match
