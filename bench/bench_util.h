@@ -40,7 +40,13 @@ QuerySummary MeasureQueries(const HgpaQueryEngine& engine,
 using Counters = std::vector<std::pair<std::string, double>>;
 void AddRow(const std::string& name, std::function<Counters()> fn);
 
-/// Runs all registered rows under google-benchmark.
+/// Runs all registered rows under google-benchmark. Accepts `--json=<path>`
+/// (consumed before google-benchmark sees the arguments): after the run,
+/// every executed row's counters are written to <path> as one JSON document
+///   {"bench": <binary name>, "params": {scale/transport/store knobs},
+///    "rows": [{"name": ..., "metrics": {counter: value, ...}}, ...]}
+/// — the machine-readable snapshot format committed as BENCH_<name>.json
+/// (see ROADMAP: speed-pass gating compares against these).
 int BenchMain(int argc, char** argv);
 
 }  // namespace dppr::bench

@@ -6,6 +6,7 @@
 #include "dppr/common/serialize.h"
 #include "dppr/common/timer.h"
 #include "dppr/graph/local_graph.h"
+#include "dppr/obs/trace.h"
 
 namespace dppr {
 namespace {
@@ -72,23 +73,29 @@ DistributedPrecompute::Result DistributedPrecompute::Run(
   };
 
   // Superstep 1: leaf local PPVs. Each machine walks the leaves packed onto
-  // it, inducing each leaf's virtual subgraph once.
-  cluster.RunRound(
-      [&](size_t machine) {
-        ByteWriter writer;
-        for (SubgraphId leaf : result.plan.machine_leaves[machine]) {
-          const HierarchySubgraph& sub = h.subgraph(leaf);
-          LocalGraph lg = LocalGraph::Induce(graph, sub.nodes);
-          for (NodeId u : sub.nodes) {
-            WallTimer timer;
-            SparseVector vec = ComputeLeafVector(lg, u, options);
-            AppendRecord(writer, VectorKind::kOwnVector, leaf, u,
-                         timer.ElapsedSeconds(), std::move(vec));
+  // it, inducing each leaf's virtual subgraph once. The coordinator-lane
+  // spans here and below name each superstep, so a DPPR_TRACE of an offline
+  // run reads as leaf/skeleton/hub phases over the per-machine
+  // cluster.machine spans.
+  {
+    obs::TraceSpan span(obs::kCoordinatorLane, "precompute.leaf_superstep");
+    cluster.RunRound(
+        [&](size_t machine) {
+          ByteWriter writer;
+          for (SubgraphId leaf : result.plan.machine_leaves[machine]) {
+            const HierarchySubgraph& sub = h.subgraph(leaf);
+            LocalGraph lg = LocalGraph::Induce(graph, sub.nodes);
+            for (NodeId u : sub.nodes) {
+              WallTimer timer;
+              SparseVector vec = ComputeLeafVector(lg, u, options);
+              AppendRecord(writer, VectorKind::kOwnVector, leaf, u,
+                           timer.ElapsedSeconds(), std::move(vec));
+            }
           }
-        }
-        return writer.Release();
-      },
-      ingest, &result.offline);
+          return writer.Release();
+        },
+        ingest, &result.offline);
+  }
 
   // Per hierarchy level, deepest first: a skeleton-column superstep, then a
   // hub-partial superstep. Levels whose subgraphs have no hubs cost nothing
@@ -119,24 +126,32 @@ DistributedPrecompute::Result DistributedPrecompute::Run(
       }
     };
 
-    cluster.RunRound(
-        [&](size_t machine) {
-          ByteWriter writer;
-          for_each_my_subgraph(
-              machine, skeleton_in_edges,
-              [&](const LocalGraph& lg, const HierarchySubgraph& sub,
-                  const std::vector<NodeId>& hubs) {
-                for (NodeId hub : hubs) {
-                  WallTimer timer;
-                  SparseVector vec = ComputeSkeletonColumn(lg, hub, options);
-                  AppendRecord(writer, VectorKind::kSkeletonColumn, sub.id, hub,
-                               timer.ElapsedSeconds(), std::move(vec));
-                }
-              });
-          return writer.Release();
-        },
-        ingest, &result.offline);
+    {
+      obs::TraceSpan span(obs::kCoordinatorLane,
+                          "precompute.skeleton_superstep");
+      span.Arg("level", level);
+      cluster.RunRound(
+          [&](size_t machine) {
+            ByteWriter writer;
+            for_each_my_subgraph(
+                machine, skeleton_in_edges,
+                [&](const LocalGraph& lg, const HierarchySubgraph& sub,
+                    const std::vector<NodeId>& hubs) {
+                  for (NodeId hub : hubs) {
+                    WallTimer timer;
+                    SparseVector vec = ComputeSkeletonColumn(lg, hub, options);
+                    AppendRecord(writer, VectorKind::kSkeletonColumn, sub.id,
+                                 hub, timer.ElapsedSeconds(), std::move(vec));
+                  }
+                });
+            return writer.Release();
+          },
+          ingest, &result.offline);
+    }
 
+    obs::TraceSpan hub_span(obs::kCoordinatorLane,
+                            "precompute.hub_partial_superstep");
+    hub_span.Arg("level", level);
     cluster.RunRound(
         [&](size_t machine) {
           ByteWriter writer;

@@ -6,9 +6,41 @@
 #include "dppr/common/macros.h"
 #include "dppr/common/thread_pool.h"
 #include "dppr/common/timer.h"
+#include "dppr/obs/metrics.h"
+#include "dppr/obs/trace.h"
 
 namespace dppr {
 namespace {
+
+/// Registry handles resolved once; afterwards every round touches only
+/// atomics. CommStats in RoundMetrics and these counters are charged from
+/// the same gathered payload sizes, so the registry rollup and the per-round
+/// struct can never disagree.
+struct ClusterMetrics {
+  obs::Counter* gather_rounds;
+  obs::Counter* gather_bytes;
+  obs::Counter* gather_messages;
+  obs::Counter* exchange_rounds;
+  obs::Counter* exchange_bytes;
+  obs::Counter* exchange_messages;
+  obs::Histogram* machine_task_us;
+  obs::Histogram* reduce_us;
+
+  static const ClusterMetrics& Get() {
+    static const ClusterMetrics metrics = [] {
+      auto& r = obs::MetricsRegistry::Global();
+      return ClusterMetrics{r.GetCounter("cluster.gather.rounds"),
+                            r.GetCounter("cluster.gather.bytes"),
+                            r.GetCounter("cluster.gather.messages"),
+                            r.GetCounter("cluster.exchange.rounds"),
+                            r.GetCounter("cluster.exchange.bytes"),
+                            r.GetCounter("cluster.exchange.messages"),
+                            r.GetHistogram("cluster.machine_task_us"),
+                            r.GetHistogram("cluster.reduce_us")};
+    }();
+    return metrics;
+  }
+};
 
 /// Runs `fn` under the configured machine timer and returns its seconds.
 template <typename Fn>
@@ -62,9 +94,15 @@ SimCluster::RoundResult SimCluster::RunRound(const MachineTask& task) const {
   DPPR_CHECK(task != nullptr);
   const uint64_t round = transport_->AllocateRound(FrameKind::kGather);
   RoundResult result;
+  result.round_id = round;
   result.metrics.machine_seconds.assign(num_machines_, 0.0);
 
   auto run_machine = [&](size_t machine) {
+    // One span per machine superstep, on the machine's own timeline lane:
+    // covers compute and the send, so gaps between spans are queueing.
+    obs::TraceSpan span(obs::MachineLane(machine), "cluster.machine");
+    span.Arg("round", round);
+    span.Arg("machine", machine);
     std::vector<uint8_t> payload;
     result.metrics.machine_seconds[machine] =
         RunTimed(timer_, [&] { payload = task(machine); });
@@ -92,6 +130,13 @@ SimCluster::RoundResult SimCluster::RunRound(const MachineTask& task) const {
   for (const auto& payload : result.payloads) {
     result.metrics.to_coordinator.Record(payload.size());
   }
+  const ClusterMetrics& metrics = ClusterMetrics::Get();
+  metrics.gather_rounds->Increment();
+  metrics.gather_bytes->Add(result.metrics.to_coordinator.bytes);
+  metrics.gather_messages->Add(result.metrics.to_coordinator.messages);
+  for (double s : result.metrics.machine_seconds) {
+    metrics.machine_task_us->Record(static_cast<uint64_t>(s * 1e6));
+  }
   return result;
 }
 
@@ -101,9 +146,13 @@ SimCluster::RoundResult SimCluster::RunRound(
   DPPR_CHECK(stats != nullptr);
   RoundResult result = RunRound(task);
   if (reduce != nullptr) {
+    obs::TraceSpan span(obs::kCoordinatorLane, "cluster.reduce");
+    span.Arg("round", result.round_id);
     WallTimer timer;
     reduce(result);
     result.metrics.coordinator_seconds = timer.ElapsedSeconds();
+    ClusterMetrics::Get().reduce_us->Record(
+        static_cast<uint64_t>(result.metrics.coordinator_seconds * 1e6));
   }
   stats->Accumulate(result.metrics, network_);
   return result;
@@ -113,9 +162,13 @@ SimCluster::ExchangeResult SimCluster::RunExchange(const ExchangeTask& task) con
   DPPR_CHECK(task != nullptr);
   const uint64_t round = transport_->AllocateRound(FrameKind::kExchange);
   ExchangeResult result;
+  result.round_id = round;
   result.machine_seconds.assign(num_machines_, 0.0);
 
   auto run_machine = [&](size_t machine) {
+    obs::TraceSpan span(obs::MachineLane(machine), "cluster.exchange.machine");
+    span.Arg("round", round);
+    span.Arg("machine", machine);
     std::vector<std::vector<uint8_t>> outbox;
     result.machine_seconds[machine] =
         RunTimed(timer_, [&] { outbox = task(machine); });
@@ -142,6 +195,13 @@ SimCluster::ExchangeResult SimCluster::RunExchange(const ExchangeTask& task) con
   }
   for (const auto& inbox : result.inboxes) {
     for (const auto& payload : inbox) result.exchanged.Record(payload.size());
+  }
+  const ClusterMetrics& metrics = ClusterMetrics::Get();
+  metrics.exchange_rounds->Increment();
+  metrics.exchange_bytes->Add(result.exchanged.bytes);
+  metrics.exchange_messages->Add(result.exchanged.messages);
+  for (double s : result.machine_seconds) {
+    metrics.machine_task_us->Record(static_cast<uint64_t>(s * 1e6));
   }
   return result;
 }

@@ -81,6 +81,9 @@ class SimCluster {
     /// Payload of machine m at index m, independent of execution order.
     std::vector<std::vector<uint8_t>> payloads;
     RoundMetrics metrics;
+    /// Transport round id (unique per kind per transport); the id trace
+    /// spans of this round carry, so a timeline groups by it.
+    uint64_t round_id = 0;
   };
 
   /// Exchange task: given the machine index, returns one outbound payload
@@ -100,6 +103,8 @@ class SimCluster {
     /// All n² p2p payloads, recorded in (dst, src) order. Every payload
     /// counts as one message even when empty, mirroring the gather path.
     CommStats exchanged;
+    /// Transport round id (see RoundResult::round_id).
+    uint64_t round_id = 0;
   };
 
   /// What a machine's measured compute time charges. kWallClock matches the

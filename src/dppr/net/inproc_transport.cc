@@ -3,8 +3,29 @@
 #include <utility>
 
 #include "dppr/common/macros.h"
+#include "dppr/obs/metrics.h"
 
 namespace dppr {
+namespace {
+
+/// In-process "wire" accounting: payload bytes only (no frame headers exist
+/// here), so net.inproc.bytes_sent matches the CommStats ledger while
+/// net.tcp.bytes_sent shows what the same workload costs on real sockets.
+struct InprocMetrics {
+  obs::Counter* bytes_sent;
+  obs::Counter* frames_sent;
+
+  static const InprocMetrics& Get() {
+    static const InprocMetrics metrics = [] {
+      auto& r = obs::MetricsRegistry::Global();
+      return InprocMetrics{r.GetCounter("net.inproc.bytes_sent"),
+                           r.GetCounter("net.inproc.frames_sent")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 InProcessTransport::InProcessTransport(size_t num_machines)
     : Transport(num_machines), coordinator_(num_machines) {
@@ -17,6 +38,9 @@ InProcessTransport::InProcessTransport(size_t num_machines)
 void InProcessTransport::SendToCoordinator(uint64_t round, size_t src,
                                            std::vector<uint8_t> payload) {
   DPPR_CHECK_LT(src, num_machines());
+  const InprocMetrics& metrics = InprocMetrics::Get();
+  metrics.frames_sent->Increment();
+  metrics.bytes_sent->Add(payload.size());
   coordinator_.Push(round, src, std::move(payload));
 }
 
@@ -28,6 +52,9 @@ void InProcessTransport::SendToMachine(uint64_t round, size_t src, size_t dst,
                                        std::vector<uint8_t> payload) {
   DPPR_CHECK_LT(src, num_machines());
   DPPR_CHECK_LT(dst, num_machines());
+  const InprocMetrics& metrics = InprocMetrics::Get();
+  metrics.frames_sent->Increment();
+  metrics.bytes_sent->Add(payload.size());
   machines_[dst]->Push(round, src, std::move(payload));
 }
 

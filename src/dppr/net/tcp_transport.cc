@@ -15,9 +15,41 @@
 #include <utility>
 
 #include "dppr/common/macros.h"
+#include "dppr/common/timer.h"
+#include "dppr/obs/metrics.h"
+#include "dppr/obs/trace.h"
 
 namespace dppr {
 namespace {
+
+/// Process-wide TCP wire accounting. bytes_sent counts payload + frame
+/// header (actual socket traffic, unlike CommStats which stays
+/// payload-only and backend-invariant); partial_write_retries counts
+/// sendmsg calls beyond the first per frame — nonzero means the kernel
+/// buffer filled and frames are backpressured.
+struct TcpMetrics {
+  obs::Counter* bytes_sent;
+  obs::Counter* frames_sent;
+  obs::Counter* bytes_received;
+  obs::Counter* frames_received;
+  obs::Counter* connects;
+  obs::Counter* partial_write_retries;
+  obs::Histogram* frame_flush_us;
+
+  static const TcpMetrics& Get() {
+    static const TcpMetrics metrics = [] {
+      auto& r = obs::MetricsRegistry::Global();
+      return TcpMetrics{r.GetCounter("net.tcp.bytes_sent"),
+                        r.GetCounter("net.tcp.frames_sent"),
+                        r.GetCounter("net.tcp.bytes_received"),
+                        r.GetCounter("net.tcp.frames_received"),
+                        r.GetCounter("net.tcp.connects"),
+                        r.GetCounter("net.tcp.partial_write_retries"),
+                        r.GetHistogram("net.tcp.frame_flush_us")};
+    }();
+    return metrics;
+  }
+};
 
 void SetNonBlocking(int fd) {
   int flags = ::fcntl(fd, F_GETFL, 0);
@@ -244,6 +276,9 @@ void TcpTransport::Deliver(Endpoint& ep, const FrameHeader& header,
     DPPR_CHECK(header.kind == FrameKind::kExchange);
     DPPR_CHECK_EQ(header.dst, static_cast<uint32_t>(ep.index));
   }
+  const TcpMetrics& metrics = TcpMetrics::Get();
+  metrics.frames_received->Increment();
+  metrics.bytes_received->Add(kFrameHeaderBytes + payload.size());
   ep.inbox.Push(header.round, header.src, std::move(payload));
 }
 
@@ -267,6 +302,7 @@ void TcpTransport::EnsureConnected(Connection& conn, size_t endpoint) {
   SetNoDelay(fd);
   SetNonBlocking(fd);
   conn.fd = fd;
+  TcpMetrics::Get().connects->Increment();
 }
 
 void TcpTransport::SendFrame(size_t endpoint, FrameKind kind, uint64_t round,
@@ -277,9 +313,18 @@ void TcpTransport::SendFrame(size_t endpoint, FrameKind kind, uint64_t round,
       MakeFrameHeader(kind, round, static_cast<uint32_t>(src), dst, payload),
       header_bytes);
 
+  // The span covers lock wait + connect + the full flush, on the sending
+  // machine's lane: in a timeline, long net.tcp.send spans under short
+  // cluster compute point at socket backpressure.
+  obs::TraceSpan span(obs::MachineLane(src), "net.tcp.send");
+  span.Arg("round", round);
+  span.Arg("bytes", payload.size());
+
   Connection& conn = *connections_[endpoint];
   std::lock_guard<std::mutex> lock(conn.mu);
   EnsureConnected(conn, endpoint);
+  WallTimer flush_timer;
+  size_t sendmsg_calls = 0;
 
   // Header and payload leave as one scatter/gather send; partial writes
   // advance the iovec cursor, EAGAIN parks in poll until the receive loop
@@ -296,6 +341,7 @@ void TcpTransport::SendFrame(size_t endpoint, FrameKind kind, uint64_t round,
   size_t remaining = kFrameHeaderBytes + payload.size();
   while (remaining > 0) {
     ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
+    ++sendmsg_calls;
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -322,6 +368,14 @@ void TcpTransport::SendFrame(size_t endpoint, FrameKind kind, uint64_t round,
       }
     }
   }
+  const TcpMetrics& metrics = TcpMetrics::Get();
+  metrics.frames_sent->Increment();
+  metrics.bytes_sent->Add(kFrameHeaderBytes + payload.size());
+  if (sendmsg_calls > 1) {
+    metrics.partial_write_retries->Add(sendmsg_calls - 1);
+  }
+  metrics.frame_flush_us->Record(
+      static_cast<uint64_t>(flush_timer.ElapsedSeconds() * 1e6));
 }
 
 void TcpTransport::SendToCoordinator(uint64_t round, size_t src,

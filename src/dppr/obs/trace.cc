@@ -1,0 +1,137 @@
+#include "dppr/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <utility>
+
+#include "dppr/common/env.h"
+
+namespace dppr::obs {
+namespace {
+
+/// Small dense per-thread id: stable shard assignment and readable trace
+/// tids (thread 1, 2, ... in spawn order) instead of opaque pthread handles.
+uint32_t CurrentTraceTid() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+Tracer::Tracer(bool enabled, std::string path)
+    : enabled_(enabled),
+      path_(std::move(path)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = [] {
+    const std::string path = GetEnvString("DPPR_TRACE", "");
+    auto* t = new Tracer(/*enabled=*/!path.empty(), path);
+    if (!path.empty()) {
+      std::atexit([] { Tracer::Global().Flush(); });
+    }
+    return t;
+  }();
+  return *tracer;
+}
+
+void Tracer::RecordComplete(const char* name, double ts_us, double dur_us,
+                            uint32_t pid,
+                            const std::array<Arg, kMaxArgs>& args) {
+  if (!enabled()) return;
+  const uint32_t tid = CurrentTraceTid();
+  Shard& shard = shards_[tid % kShards];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.events.size() >= kMaxEventsPerShard) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  shard.events.push_back(Event{name, ts_us, dur_us, pid, tid, args});
+}
+
+size_t Tracer::event_count() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.events.size();
+  }
+  return total;
+}
+
+std::string Tracer::RenderJson() const {
+  std::vector<Event> events;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    events.insert(events.end(), shard.events.begin(), shard.events.end());
+  }
+  // Chrome sorts internally, but a ts-ordered file is diffable and makes the
+  // round-trip tests deterministic across shard interleavings.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return b.dur_us < a.dur_us;  // enclosing span first
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+
+  // Name each lane so the viewer shows "machine N" rows, not bare pids.
+  std::set<uint32_t> pids;
+  for (const Event& e : events) pids.insert(e.pid);
+  for (uint32_t pid : pids) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"tid\":0,\"ts\":0,\"args\":{\"name\":\"",
+                  first ? "" : ",", pid);
+    out += buf;
+    if (pid == kCoordinatorLane) {
+      out += "coordinator";
+    } else {
+      std::snprintf(buf, sizeof(buf), "machine %u", pid - 1);
+      out += buf;
+    }
+    out += "\"}}";
+    first = false;
+  }
+
+  for (const Event& e : events) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n{\"name\":\"%s\",\"cat\":\"dppr\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%u,\"tid\":%u",
+                  first ? "" : ",", e.name, e.ts_us, e.dur_us, e.pid, e.tid);
+    out += buf;
+    first = false;
+    bool has_args = false;
+    for (const Arg& arg : e.args) {
+      if (arg.key == nullptr) continue;
+      std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu",
+                    has_args ? "," : ",\"args\":{", arg.key,
+                    static_cast<unsigned long long>(arg.value));
+      out += buf;
+      has_args = true;
+    }
+    if (has_args) out += "}";
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void Tracer::Flush() const {
+  if (path_.empty()) return;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "dppr: cannot write trace to %s\n", path_.c_str());
+    return;
+  }
+  const std::string body = RenderJson();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace dppr::obs

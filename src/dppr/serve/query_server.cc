@@ -1,12 +1,27 @@
 #include "dppr/serve/query_server.h"
 
 #include <algorithm>
-#include <cmath>
+#include <atomic>
+#include <string>
 #include <utility>
 
 #include "dppr/common/macros.h"
+#include "dppr/obs/trace.h"
 
 namespace dppr {
+namespace {
+
+/// Distinct label per server instance, so several servers in one process
+/// (equivalence tests run an inproc and a tcp server side by side) keep
+/// independent series and windowed stats never bleed across servers.
+std::string ServerLabel() {
+  static std::atomic<uint64_t> next_id{0};
+  return "{server=\"" +
+         std::to_string(next_id.fetch_add(1, std::memory_order_relaxed)) +
+         "\"}";
+}
+
+}  // namespace
 
 QueryServer::QueryServer(HgpaQueryEngine engine, ServeOptions options)
     : engine_(std::move(engine)), options_(options) {
@@ -14,6 +29,16 @@ QueryServer::QueryServer(HgpaQueryEngine engine, ServeOptions options)
   if (options_.thread_cpu_timer) {
     engine_.set_machine_timer(SimCluster::TimerKind::kThreadCpu);
   }
+  const std::string label = ServerLabel();
+  auto& registry = obs::MetricsRegistry::Global();
+  series_ = Series{registry.GetCounter("serve.queries" + label),
+                   registry.GetCounter("serve.rounds" + label),
+                   registry.GetCounter("serve.comm_bytes" + label),
+                   registry.GetCounter("serve.comm_messages" + label),
+                   registry.GetHistogram("serve.query_latency_us" + label),
+                   registry.GetHistogram("serve.admission_wait_us" + label),
+                   registry.GetHistogram("serve.batch_size" + label)};
+  window_baseline_ = CaptureBaseline();
   storage_baseline_ = engine_.index().StorageStatsTotal();
 }
 
@@ -44,7 +69,11 @@ QueryServer::Response QueryServer::Submit(std::vector<Preference> preferences) {
   Request request;
   request.preferences = std::move(preferences);
 
+  obs::TraceSpan span(obs::kCoordinatorLane, "serve.request");
+
   std::unique_lock<std::mutex> lock(mu_);
+  request.id = next_request_id_++;
+  span.Arg("request", request.id);
   request.admitted.Restart();
   pending_.push_back(&request);
   while (!request.done) {
@@ -74,16 +103,35 @@ void QueryServer::RunOneBatch(std::unique_lock<std::mutex>& lock) {
   std::vector<Request*> batch(pending_.begin(), pending_.begin() + take);
   pending_.erase(pending_.begin(), pending_.begin() + take);
 
+  obs::Tracer& tracer = obs::Tracer::Global();
   std::vector<std::vector<Preference>> queries;
   queries.reserve(take);
-  // Moved, not copied: the request only needs its result from here on.
-  for (Request* request : batch) queries.push_back(std::move(request->preferences));
+  for (Request* request : batch) {
+    // Admission wait ends here: the request leaves the queue for a round.
+    const double wait_seconds = request->admitted.ElapsedSeconds();
+    series_.admission_wait_us->Record(
+        static_cast<uint64_t>(wait_seconds * 1e6));
+    if (tracer.enabled()) {
+      const double wait_us = wait_seconds * 1e6;
+      tracer.RecordComplete("serve.wait", tracer.NowMicros() - wait_us,
+                            wait_us, obs::kCoordinatorLane,
+                            {{{"request", request->id}, {}, {}}});
+    }
+    // Moved, not copied: the request only needs its result from here on.
+    queries.push_back(std::move(request->preferences));
+  }
+  series_.batch_size->Record(take);
 
   lock.unlock();
   std::vector<QueryMetrics> per_query;
   QueryMetrics round;
-  std::vector<SparseVector> ppvs =
-      engine_.QueryPreferenceSetMany(queries, &per_query, &round);
+  std::vector<SparseVector> ppvs;
+  {
+    obs::TraceSpan round_span(obs::kCoordinatorLane, "serve.round");
+    round_span.Arg("batch", take);
+    round_span.Arg("first_request", batch.front()->id);
+    ppvs = engine_.QueryPreferenceSetMany(queries, &per_query, &round);
+  }
   lock.lock();
 
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -92,49 +140,46 @@ void QueryServer::RunOneBatch(std::unique_lock<std::mutex>& lock) {
     request->metrics = per_query[i];
     request->latency_seconds = request->admitted.ElapsedSeconds();
     request->done = true;
-    if (latencies_seconds_.size() < kLatencyWindow) {
-      latencies_seconds_.push_back(request->latency_seconds);
-    } else {
-      latencies_seconds_[latency_cursor_] = request->latency_seconds;
-      latency_cursor_ = (latency_cursor_ + 1) % kLatencyWindow;
-    }
+    series_.latency_us->Record(
+        static_cast<uint64_t>(request->latency_seconds * 1e6));
   }
-  queries_ += take;
-  ++rounds_;
-  comm_ += round.comm;
+  series_.queries->Add(take);
+  series_.rounds->Increment();
+  series_.comm_bytes->Add(round.comm.bytes);
+  series_.comm_messages->Add(round.comm.messages);
   done_cv_.notify_all();
 }
 
-namespace {
-
-double PercentileMs(std::vector<double>& seconds_scratch, double fraction) {
-  if (seconds_scratch.empty()) return 0.0;
-  size_t rank = static_cast<size_t>(
-      std::ceil(fraction * static_cast<double>(seconds_scratch.size())));
-  rank = std::min(std::max<size_t>(rank, 1), seconds_scratch.size()) - 1;
-  std::nth_element(seconds_scratch.begin(), seconds_scratch.begin() + rank,
-                   seconds_scratch.end());
-  return seconds_scratch[rank] * 1e3;
+QueryServer::WindowBaseline QueryServer::CaptureBaseline() const {
+  return WindowBaseline{series_.queries->Value(),
+                        series_.rounds->Value(),
+                        series_.comm_bytes->Value(),
+                        series_.comm_messages->Value(),
+                        series_.latency_us->TakeSnapshot()};
 }
-
-}  // namespace
 
 ServerStats QueryServer::Stats() const {
   std::unique_lock<std::mutex> lock(mu_);
   ServerStats stats;
-  stats.queries = queries_;
-  stats.rounds = rounds_;
+  stats.queries = series_.queries->Value() - window_baseline_.queries;
+  stats.rounds = series_.rounds->Value() - window_baseline_.rounds;
   stats.wall_seconds = window_.ElapsedSeconds();
   stats.qps = stats.wall_seconds > 0.0
-                  ? static_cast<double>(queries_) / stats.wall_seconds
+                  ? static_cast<double>(stats.queries) / stats.wall_seconds
                   : 0.0;
-  stats.mean_batch = rounds_ > 0
-                         ? static_cast<double>(queries_) / static_cast<double>(rounds_)
-                         : 0.0;
-  std::vector<double> scratch = latencies_seconds_;  // one copy for both
-  stats.p50_latency_ms = PercentileMs(scratch, 0.50);
-  stats.p95_latency_ms = PercentileMs(scratch, 0.95);
-  stats.comm = comm_;
+  stats.mean_batch =
+      stats.rounds > 0 ? static_cast<double>(stats.queries) /
+                             static_cast<double>(stats.rounds)
+                       : 0.0;
+  const obs::Histogram::Snapshot window =
+      series_.latency_us->TakeSnapshot().Since(window_baseline_.latency);
+  stats.p50_latency_ms = static_cast<double>(window.Quantile(0.5)) / 1e3;
+  stats.p95_latency_ms = static_cast<double>(window.Quantile(0.95)) / 1e3;
+  stats.p99_latency_ms = static_cast<double>(window.Quantile(0.99)) / 1e3;
+  stats.p999_latency_ms = static_cast<double>(window.Quantile(0.999)) / 1e3;
+  stats.comm.bytes = series_.comm_bytes->Value() - window_baseline_.comm_bytes;
+  stats.comm.messages =
+      series_.comm_messages->Value() - window_baseline_.comm_messages;
   StorageStats storage =
       engine_.index().StorageStatsTotal().Since(storage_baseline_);
   stats.cache_hits = storage.cache_hits;
@@ -145,11 +190,7 @@ ServerStats QueryServer::Stats() const {
 
 void QueryServer::ResetStats() {
   std::unique_lock<std::mutex> lock(mu_);
-  queries_ = 0;
-  rounds_ = 0;
-  comm_ = CommStats{};
-  latencies_seconds_.clear();
-  latency_cursor_ = 0;
+  window_baseline_ = CaptureBaseline();
   storage_baseline_ = engine_.index().StorageStatsTotal();
   window_.Restart();
 }

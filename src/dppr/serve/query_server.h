@@ -10,6 +10,7 @@
 
 #include "dppr/common/timer.h"
 #include "dppr/core/hgpa.h"
+#include "dppr/obs/metrics.h"
 
 namespace dppr {
 
@@ -26,6 +27,14 @@ struct ServeOptions {
 };
 
 /// Aggregate serving statistics since construction or the last ResetStats().
+///
+/// Every number is a windowed view over this server's metric series in the
+/// process-wide obs::MetricsRegistry (each server registers its own
+/// `serve.*{server="N"}` series at construction): Stats() reads the live
+/// registry values and subtracts the window baseline, so ServerStats and a
+/// DPPR_METRICS_DUMP snapshot can never disagree — there is exactly one set
+/// of counters, and the latency percentiles are exact quantile queries over
+/// the same `serve.query_latency_us` histogram the dump renders.
 struct ServerStats {
   uint64_t queries = 0;
   /// Cluster rounds run; queries/rounds is the realized mean batch size.
@@ -36,11 +45,13 @@ struct ServerStats {
   double qps = 0.0;
   double mean_batch = 0.0;
   /// Request latency percentiles in milliseconds: admission to completion,
-  /// so queueing and batching delay are included. Computed over the most
-  /// recent QueryServer::kLatencyWindow requests (bounded memory on a
-  /// long-running server).
+  /// so queueing and batching delay are included. Quantiles of the server's
+  /// registry histogram over the whole stats window, at the histogram's
+  /// log-bucket resolution (<= 3.125% relative error; see obs::Histogram).
   double p50_latency_ms = 0.0;
   double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double p999_latency_ms = 0.0;
   /// Coordinator ingress across all rounds (bytes shipped).
   CommStats comm;
   /// Residency view over the window, summed across machine stores: lookups
@@ -65,6 +76,12 @@ struct ServerStats {
 /// load. Threads arriving while a leader is active enqueue and sleep.
 /// Answers are bit-identical to unbatched queries — batching changes only
 /// cost sharing, never results.
+///
+/// With DPPR_TRACE set, every request contributes spans to the process
+/// trace: `serve.request` (admission to completion, on the caller's
+/// thread), `serve.wait` (time parked in the admission queue), and
+/// `serve.round` around each leader batch — plus the per-machine
+/// `cluster.machine` spans of the round itself.
 class QueryServer {
  public:
   using Preference = HgpaQueryEngine::Preference;
@@ -110,9 +127,6 @@ class QueryServer {
   const HgpaQueryEngine& engine() const { return engine_; }
   const ServeOptions& options() const { return options_; }
 
-  /// Latency percentiles cover this many most-recent requests.
-  static constexpr size_t kLatencyWindow = 4096;
-
  private:
   struct Request {
     std::vector<Preference> preferences;
@@ -120,32 +134,57 @@ class QueryServer {
     QueryMetrics metrics;
     double latency_seconds = 0.0;
     bool done = false;
+    /// Server-unique request id; trace spans carry it so a request's wait,
+    /// round, and completion line up in the timeline.
+    uint64_t id = 0;
     WallTimer admitted;
+  };
+
+  /// This server's registry series (`serve.*{server="N"}`). Resolved once
+  /// at construction; pointers live for the process lifetime.
+  struct Series {
+    obs::Counter* queries;
+    obs::Counter* rounds;
+    obs::Counter* comm_bytes;
+    obs::Counter* comm_messages;
+    obs::Histogram* latency_us;
+    obs::Histogram* admission_wait_us;
+    obs::Histogram* batch_size;
+  };
+
+  /// Registry values at the start of the stats window; Stats() reports
+  /// deltas from here (the registry series are monotonic process-wide).
+  struct WindowBaseline {
+    uint64_t queries = 0;
+    uint64_t rounds = 0;
+    uint64_t comm_bytes = 0;
+    uint64_t comm_messages = 0;
+    obs::Histogram::Snapshot latency;
   };
 
   Response Submit(std::vector<Preference> preferences);
   /// Leader: takes up to max_batch requests off the queue, runs one cluster
   /// round, publishes results. `lock` is held on entry and exit.
   void RunOneBatch(std::unique_lock<std::mutex>& lock);
+  /// Call with mu_ held.
+  WindowBaseline CaptureBaseline() const;
 
   HgpaQueryEngine engine_;
   ServeOptions options_;
+  Series series_;
 
   mutable std::mutex mu_;
   std::condition_variable done_cv_;
   std::deque<Request*> pending_;
   bool leader_active_ = false;
+  uint64_t next_request_id_ = 0;
 
-  // Aggregate stats, guarded by mu_.
-  uint64_t queries_ = 0;
-  uint64_t rounds_ = 0;
-  CommStats comm_;
-  /// Storage counters at the window start; Stats() reports deltas from here
-  /// (the stores' own counters are monotonic for their whole lifetime).
+  // Stats window state, guarded by mu_ (the registry series themselves are
+  // atomic; the baseline and wall timer define this server's window).
+  WindowBaseline window_baseline_;
+  /// Storage counters at the window start (the stores' own counters are
+  /// monotonic for their whole lifetime).
   StorageStats storage_baseline_;
-  /// Ring of the last kLatencyWindow request latencies.
-  std::vector<double> latencies_seconds_;
-  size_t latency_cursor_ = 0;
   WallTimer window_;
 };
 

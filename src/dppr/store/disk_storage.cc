@@ -10,7 +10,38 @@
 #include <utility>
 #include <vector>
 
+#include "dppr/common/timer.h"
+#include "dppr/obs/metrics.h"
+#include "dppr/obs/trace.h"
+
 namespace dppr {
+namespace {
+
+/// Process-wide rollup of every DiskSpillStorage's miss path. Charged at the
+/// same code sites as the per-store hits_/misses_/disk_bytes_read_ atomics
+/// (the per-store stats() remain the source for per-index views), so the
+/// registry dump and summed StorageStats can never disagree.
+struct DiskMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* bytes_read;
+  obs::Histogram* miss_extent_read_us;
+  obs::Histogram* singleflight_wait_us;
+
+  static const DiskMetrics& Get() {
+    static const DiskMetrics metrics = [] {
+      auto& r = obs::MetricsRegistry::Global();
+      return DiskMetrics{r.GetCounter("store.disk.hits"),
+                         r.GetCounter("store.disk.misses"),
+                         r.GetCounter("store.disk.bytes_read"),
+                         r.GetHistogram("store.disk.miss_extent_read_us"),
+                         r.GetHistogram("store.disk.singleflight_wait_us")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // SpillFile
@@ -191,6 +222,7 @@ PpvRef DiskSpillStorage::Find(VectorKind kind, SubgraphId sub, NodeId node) cons
       auto cit = cache_.find(key);
       if (cit != cache_.end()) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        DiskMetrics::Get().hits->Increment();
         lru_.splice(lru_.begin(), lru_, cit->second.lru_it);
         return PpvRef(cit->second.vec);
       }
@@ -202,7 +234,15 @@ PpvRef DiskSpillStorage::Find(VectorKind kind, SubgraphId sub, NodeId node) cons
       if (fit != inflight_.end()) {
         std::shared_ptr<InFlightLoad> lead = fit->second;
         misses_.fetch_add(1, std::memory_order_relaxed);
-        lead->done_cv.wait(lock, [&] { return lead->done; });
+        DiskMetrics::Get().misses->Increment();
+        {
+          obs::TraceSpan wait_span(obs::kCoordinatorLane,
+                                   "store.singleflight_wait");
+          WallTimer wait;
+          lead->done_cv.wait(lock, [&] { return lead->done; });
+          DiskMetrics::Get().singleflight_wait_us->Record(
+              static_cast<uint64_t>(wait.ElapsedSeconds() * 1e6));
+        }
         if (!lead->failed) return PpvRef(lead->vec);
         // The leader unwound without a result; start the lookup over (this
         // thread may become the next leader and surface the error itself).
@@ -243,10 +283,18 @@ PpvRef DiskSpillStorage::Load(uint64_t key, VectorKind kind, SubgraphId sub,
   // Disk I/O and deserialization happen outside the cache lock so concurrent
   // misses on different vectors overlap their reads.
   std::vector<uint8_t> buf(extent.length);
-  file_->Read(extent, buf);
-  ByteReader reader(buf.data(), buf.size());
-  VectorRecord record = VectorRecord::Deserialize(reader);
-  DPPR_CHECK(reader.AtEnd());
+  VectorRecord record = [&] {
+    obs::TraceSpan read_span(obs::kCoordinatorLane, "store.extent_read");
+    read_span.Arg("bytes", extent.length);
+    WallTimer read_timer;
+    file_->Read(extent, buf);
+    ByteReader reader(buf.data(), buf.size());
+    VectorRecord parsed = VectorRecord::Deserialize(reader);
+    DPPR_CHECK(reader.AtEnd());
+    DiskMetrics::Get().miss_extent_read_us->Record(
+        static_cast<uint64_t>(read_timer.ElapsedSeconds() * 1e6));
+    return parsed;
+  }();
   // The record must be the one the key promised: a corrupted extent table or
   // spill file fails here instead of returning another vector's data.
   DPPR_CHECK(record.kind == kind);
@@ -257,6 +305,9 @@ PpvRef DiskSpillStorage::Load(uint64_t key, VectorKind kind, SubgraphId sub,
   std::lock_guard<std::mutex> lock(mu_);
   misses_.fetch_add(1, std::memory_order_relaxed);
   disk_bytes_read_.fetch_add(extent.length, std::memory_order_relaxed);
+  const DiskMetrics& disk_metrics = DiskMetrics::Get();
+  disk_metrics.misses->Increment();
+  disk_metrics.bytes_read->Add(extent.length);
   // Publish to followers parked on this load, then retire the singleflight
   // entry — later lookups either hit the cache or start a fresh load.
   load->vec = vec;
