@@ -25,22 +25,48 @@ PlacementPlan PlacementPlan::Build(const Hierarchy& hierarchy,
     }
   }
 
-  // Leaf subgraphs: greedy least-loaded by node count, larger leaves first.
-  std::vector<SubgraphId> leaves = hierarchy.leaves();
-  std::sort(leaves.begin(), leaves.end(), [&](SubgraphId a, SubgraphId b) {
+  // Larger-first, lowest-machine / lowest-id tie breaks: the packing below
+  // must be identical on every run (home assignments feed byte ledgers that
+  // equivalence tests compare bit for bit).
+  auto by_size_desc = [&](SubgraphId a, SubgraphId b) {
     size_t sa = hierarchy.subgraph(a).nodes.size();
     size_t sb = hierarchy.subgraph(b).nodes.size();
     if (sa != sb) return sa > sb;
     return a < b;
-  });
-  std::vector<size_t> leaf_load(num_machines, 0);
+  };
+  auto least_loaded = [](const std::vector<size_t>& load) {
+    return static_cast<size_t>(std::min_element(load.begin(), load.end()) -
+                               load.begin());
+  };
+
+  // Leaf subgraphs: greedy least-loaded by node count, larger leaves first.
+  // The packing machine is also the leaf's home — it is the one machine that
+  // holds the leaf's data after the offline phase.
+  plan.home_machine.assign(hierarchy.num_subgraphs(), 0);
+  std::vector<SubgraphId> leaves = hierarchy.leaves();
+  std::sort(leaves.begin(), leaves.end(), by_size_desc);
+  std::vector<size_t> load(num_machines, 0);
   for (SubgraphId leaf : leaves) {
-    size_t machine = static_cast<size_t>(
-        std::min_element(leaf_load.begin(), leaf_load.end()) - leaf_load.begin());
+    size_t machine = least_loaded(load);
     const auto& sub = hierarchy.subgraph(leaf);
-    leaf_load[machine] += sub.nodes.size();
+    load[machine] += sub.nodes.size();
     plan.machine_leaves[machine].push_back(leaf);
+    plan.home_machine[leaf] = machine;
     for (NodeId u : sub.nodes) plan.own_machine[u] = machine;
+  }
+
+  // Internal subgraphs (the hub compute sites): their nodes span many leaves
+  // on many machines, so no machine is "where the data lives" — fall back to
+  // the same greedy least-loaded packing, continuing from the leaf loads.
+  std::vector<SubgraphId> internal;
+  for (const auto& sub : hierarchy.subgraphs()) {
+    if (!sub.children.empty()) internal.push_back(sub.id);
+  }
+  std::sort(internal.begin(), internal.end(), by_size_desc);
+  for (SubgraphId id : internal) {
+    size_t machine = least_loaded(load);
+    load[machine] += hierarchy.subgraph(id).nodes.size();
+    plan.home_machine[id] = machine;
   }
   return plan;
 }

@@ -22,6 +22,12 @@ namespace dppr {
 /// engine consume the same plan, so the distributed rebuild reproduces the
 /// centralized placement exactly — including the per-(machine, subgraph) hub
 /// order the query-time accumulation depends on.
+///
+/// Every subgraph additionally has a *home machine* — its compute site under
+/// locality placement, distinct from the Eq. 7 *owner* that stores each hub's
+/// vectors. Leaves are home where the leaf packing put them (that machine
+/// already holds their data); internal subgraphs span many leaves, so they
+/// fall back to deterministic least-loaded packing by node count.
 struct PlacementPlan {
   /// Hubs a machine is responsible for, grouped by subgraph, in Eq. 7 rank
   /// order (the order query-time accumulation folds them in).
@@ -31,6 +37,12 @@ struct PlacementPlan {
   /// Per node: the machine holding its own vector (leaf local PPV for
   /// non-hubs, the hub partial vector for hubs).
   std::vector<size_t> own_machine;
+  /// Per subgraph: the machine that computes the subgraph's vectors under
+  /// locality placement (DistributedPrecompute's default). For leaves this is
+  /// the leaf-packing machine; internal subgraphs are packed greedy
+  /// least-loaded by node count, larger first, seeded with the leaf loads so
+  /// leaf-heavy machines pick up fewer hub subgraphs.
+  std::vector<size_t> home_machine;
 
   size_t num_machines() const { return machine_hubs.size(); }
 

@@ -72,6 +72,24 @@ double RoundMetrics::SimulatedSeconds(const NetworkModel& net) const {
   return MaxMachineSeconds() + transfer + coordinator_seconds;
 }
 
+double ExchangeMetrics::MaxMachineSeconds() const {
+  double max = 0.0;
+  for (double s : machine_seconds) max = std::max(max, s);
+  return max;
+}
+
+double ExchangeMetrics::SimulatedSeconds(const NetworkModel& net) const {
+  // Destinations drain their ingress links in parallel; the round's barrier
+  // waits for the slowest one.
+  double slowest_link = 0.0;
+  for (const CommStats& in : ingress) {
+    double t = static_cast<double>(in.bytes) / net.bandwidth_bytes_per_sec +
+               static_cast<double>(in.messages) * net.latency_seconds;
+    slowest_link = std::max(slowest_link, t);
+  }
+  return MaxMachineSeconds() + slowest_link + coordinator_seconds;
+}
+
 void MultiRoundStats::Accumulate(const RoundMetrics& round,
                                  const NetworkModel& net) {
   ++rounds;
@@ -79,6 +97,16 @@ void MultiRoundStats::Accumulate(const RoundMetrics& round,
   max_machine_seconds += round.MaxMachineSeconds();
   coordinator_seconds += round.coordinator_seconds;
   comm += round.to_coordinator;
+}
+
+void MultiRoundStats::AccumulateExchange(const ExchangeMetrics& round,
+                                         const NetworkModel& net) {
+  ++rounds;
+  ++exchange_rounds;
+  simulated_seconds += round.SimulatedSeconds(net);
+  max_machine_seconds += round.MaxMachineSeconds();
+  coordinator_seconds += round.coordinator_seconds;
+  shuffled += round.shuffled;
 }
 
 SimCluster::SimCluster(size_t num_machines, NetworkModel network,
@@ -163,14 +191,14 @@ SimCluster::ExchangeResult SimCluster::RunExchange(const ExchangeTask& task) con
   const uint64_t round = transport_->AllocateRound(FrameKind::kExchange);
   ExchangeResult result;
   result.round_id = round;
-  result.machine_seconds.assign(num_machines_, 0.0);
+  result.metrics.machine_seconds.assign(num_machines_, 0.0);
 
   auto run_machine = [&](size_t machine) {
     obs::TraceSpan span(obs::MachineLane(machine), "cluster.exchange.machine");
     span.Arg("round", round);
     span.Arg("machine", machine);
     std::vector<std::vector<uint8_t>> outbox;
-    result.machine_seconds[machine] =
+    result.metrics.machine_seconds[machine] =
         RunTimed(timer_, [&] { outbox = task(machine); });
     DPPR_CHECK_EQ(outbox.size(), num_machines_);
     for (size_t dst = 0; dst < num_machines_; ++dst) {
@@ -189,20 +217,45 @@ SimCluster::ExchangeResult SimCluster::RunExchange(const ExchangeTask& task) con
   // All sends are complete, so the receives below can never wait on a task
   // that has not run yet — the exchange is a barrier, like a BSP superstep.
   result.inboxes.resize(num_machines_);
+  result.metrics.ingress.assign(num_machines_, CommStats{});
   for (size_t dst = 0; dst < num_machines_; ++dst) {
     result.inboxes[dst] = transport_->ReceiveExchange(round, dst);
     DPPR_CHECK_EQ(result.inboxes[dst].size(), num_machines_);
   }
-  for (const auto& inbox : result.inboxes) {
-    for (const auto& payload : inbox) result.exchanged.Record(payload.size());
+  for (size_t dst = 0; dst < num_machines_; ++dst) {
+    for (size_t src = 0; src < num_machines_; ++src) {
+      size_t size = result.inboxes[dst][src].size();
+      result.metrics.exchanged.Record(size);
+      if (src != dst) result.metrics.ingress[dst].Record(size);
+    }
+    result.metrics.shuffled += result.metrics.ingress[dst];
   }
   const ClusterMetrics& metrics = ClusterMetrics::Get();
   metrics.exchange_rounds->Increment();
-  metrics.exchange_bytes->Add(result.exchanged.bytes);
-  metrics.exchange_messages->Add(result.exchanged.messages);
-  for (double s : result.machine_seconds) {
+  metrics.exchange_bytes->Add(result.metrics.exchanged.bytes);
+  metrics.exchange_messages->Add(result.metrics.exchanged.messages);
+  for (double s : result.metrics.machine_seconds) {
     metrics.machine_task_us->Record(static_cast<uint64_t>(s * 1e6));
   }
+  return result;
+}
+
+SimCluster::ExchangeResult SimCluster::RunExchange(
+    const ExchangeTask& task,
+    const std::function<void(ExchangeResult&)>& reduce,
+    MultiRoundStats* stats) const {
+  DPPR_CHECK(stats != nullptr);
+  ExchangeResult result = RunExchange(task);
+  if (reduce != nullptr) {
+    obs::TraceSpan span(obs::kCoordinatorLane, "cluster.reduce");
+    span.Arg("round", result.round_id);
+    WallTimer timer;
+    reduce(result);
+    result.metrics.coordinator_seconds = timer.ElapsedSeconds();
+    ClusterMetrics::Get().reduce_us->Record(
+        static_cast<uint64_t>(result.metrics.coordinator_seconds * 1e6));
+  }
+  stats->AccumulateExchange(result.metrics, network_);
   return result;
 }
 

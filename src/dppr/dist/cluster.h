@@ -32,18 +32,56 @@ struct RoundMetrics {
   double SimulatedSeconds(const NetworkModel& net) const;
 };
 
+/// Measured + modeled cost of one machine→machine shuffle round (all
+/// machines compute their outboxes, then every p2p payload moves, then the
+/// caller's reduce ingests).
+struct ExchangeMetrics {
+  /// Measured compute time of each machine's task (outbox construction).
+  std::vector<double> machine_seconds;
+  /// All n² p2p payloads, recorded in (dst, src) order. Every payload counts
+  /// as one message even when empty, mirroring the gather path.
+  CommStats exchanged;
+  /// Off-machine traffic only (src != dst): a machine's self-addressed
+  /// payload never crosses the network, so shuffle ledgers price exactly the
+  /// records that actually moved.
+  CommStats shuffled;
+  /// `shuffled` split by destination; each machine's ingress link drains
+  /// independently in the transfer model (p2p links are not the
+  /// coordinator's shared ingress).
+  std::vector<CommStats> ingress;
+  /// Measured coordinator reduce (ingest) time, filled in by the caller.
+  double coordinator_seconds = 0.0;
+
+  double MaxMachineSeconds() const;
+
+  /// End-to-end latency of the round under `net`: machines compute in
+  /// parallel, then every destination's ingress drains in parallel (the
+  /// slowest link gates the barrier), then the reduce.
+  double SimulatedSeconds(const NetworkModel& net) const;
+};
+
 /// Accumulates RoundMetrics across the supersteps of a multi-round algorithm
 /// (the BSP baseline pays one round per superstep; HGPA pays exactly one).
+/// Exchange (p2p shuffle) rounds fold into the same report: they count into
+/// `rounds`/`simulated_seconds` alongside gathers, with their traffic kept in
+/// the distinct `shuffled` column (coordinator ingress and machine→machine
+/// bytes are different links and the paper's tables price them apart).
 struct MultiRoundStats {
   size_t rounds = 0;
+  /// How many of `rounds` were machine→machine shuffles.
+  size_t exchange_rounds = 0;
   /// Σ per-round SimulatedSeconds under the network given to Accumulate.
   double simulated_seconds = 0.0;
   /// Σ per-round max machine compute (the compute-only critical path).
   double max_machine_seconds = 0.0;
   double coordinator_seconds = 0.0;
+  /// Coordinator ingress (gather rounds).
   CommStats comm;
+  /// Machine→machine shuffle traffic (exchange rounds; self-sends excluded).
+  CommStats shuffled;
 
   void Accumulate(const RoundMetrics& round, const NetworkModel& net);
+  void AccumulateExchange(const ExchangeMetrics& round, const NetworkModel& net);
 };
 
 /// A cluster of `n` simulated machines sharing this process's cores. One
@@ -92,17 +130,13 @@ class SimCluster {
   using ExchangeTask =
       std::function<std::vector<std::vector<uint8_t>>(size_t machine)>;
 
-  /// Result of one machine→machine shuffle round (the primitive Lin-style
-  /// p2p skeleton shipping builds on; see ROADMAP).
+  /// Result of one machine→machine shuffle round (the primitive behind
+  /// DistributedPrecompute's locality-placement record shipping).
   struct ExchangeResult {
     /// inboxes[dst][src]: the payload machine src addressed to machine dst,
     /// independent of execution order.
     std::vector<std::vector<std::vector<uint8_t>>> inboxes;
-    /// Measured compute time of each machine's task (outbox construction).
-    std::vector<double> machine_seconds;
-    /// All n² p2p payloads, recorded in (dst, src) order. Every payload
-    /// counts as one message even when empty, mirroring the gather path.
-    CommStats exchanged;
+    ExchangeMetrics metrics;
     /// Transport round id (see RoundResult::round_id).
     uint64_t round_id = 0;
   };
@@ -154,6 +188,14 @@ class SimCluster {
   /// run and receives only start after every task finished, so the round is
   /// deadlock-free in sequential mode and over real sockets alike.
   ExchangeResult RunExchange(const ExchangeTask& task) const;
+
+  /// Multi-round convenience mirroring the gather overload: runs one
+  /// exchange round, times `reduce` as the coordinator phase, and folds the
+  /// completed round into `stats` (rounds, exchange_rounds, shuffled bytes)
+  /// under this cluster's network model.
+  ExchangeResult RunExchange(const ExchangeTask& task,
+                             const std::function<void(ExchangeResult&)>& reduce,
+                             MultiRoundStats* stats) const;
 
  private:
   size_t num_machines_;

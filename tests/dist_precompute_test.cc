@@ -153,8 +153,128 @@ TEST(DistPrecompute, GpaQueriesFromOwnedStoresMatchLegacyEngine) {
   }
 }
 
+size_t HubLevels(const Hierarchy& hierarchy) {
+  size_t hub_levels = 0;
+  std::vector<bool> seen(hierarchy.num_levels(), false);
+  for (const auto& sub : hierarchy.subgraphs()) {
+    if (!sub.hubs.empty() && !seen[sub.level]) {
+      seen[sub.level] = true;
+      ++hub_levels;
+    }
+  }
+  return hub_levels;
+}
+
 TEST(DistPrecompute, OfflineStatsCountSuperstepsAndTraffic) {
+  // Placements are pinned (not env-defaulted): these assertions are
+  // mode-specific and must hold under every CI DPPR_OFFLINE leg.
   Graph g = RandomDigraph(100, 3.0, 64);
+  HgpaOptions options = SmallOptions();
+
+  DistPrecomputeOptions dist;
+  dist.num_machines = 4;
+  dist.locality = OfflinePlacement::kOwner;
+  DistributedPrecompute::Result owner =
+      DistributedPrecompute::RunHgpa(g, options, dist);
+  dist.locality = OfflinePlacement::kLocality;
+  DistributedPrecompute::Result locality =
+      DistributedPrecompute::RunHgpa(g, options, dist);
+
+  const size_t hub_levels = HubLevels(*owner.hierarchy);
+  ASSERT_GT(hub_levels, 0u);
+
+  // Owner placement: one leaf round plus a skeleton and a partial gather
+  // round per level with hubs; nothing ever shuffles machine→machine.
+  EXPECT_EQ(owner.placement, OfflinePlacement::kOwner);
+  EXPECT_EQ(owner.offline.rounds, 1 + 2 * hub_levels);
+  EXPECT_EQ(owner.offline.exchange_rounds, 0u);
+  EXPECT_EQ(owner.offline.comm.messages,
+            owner.offline.rounds * dist.num_machines);
+  EXPECT_EQ(owner.offline.shuffled.bytes, 0u);
+  // All shipped payload bytes materialized as stored vectors plus record
+  // headers, so traffic must dominate the stores' serialized footprint.
+  EXPECT_GT(owner.offline.comm.bytes, owner.TotalBytes());
+  // With 4 machines and Eq. 7 spreading, most hub induces are off-home.
+  EXPECT_GT(owner.remote_induces, 0u);
+
+  // Locality placement: the hub supersteps collapse into one exchange round
+  // per level, the coordinator link carries only the leaf gather, and no
+  // machine ever induces a subgraph it is not home to.
+  EXPECT_EQ(locality.placement, OfflinePlacement::kLocality);
+  EXPECT_EQ(locality.offline.rounds, 1 + hub_levels);
+  EXPECT_EQ(locality.offline.exchange_rounds, hub_levels);
+  EXPECT_EQ(locality.offline.comm.messages, dist.num_machines);
+  EXPECT_EQ(locality.offline.shuffled.messages,
+            hub_levels * dist.num_machines * (dist.num_machines - 1));
+  EXPECT_EQ(locality.remote_induces, 0u);
+  EXPECT_LE(locality.induces, owner.induces);
+
+  // Cross-mode ledger identity: every hub record owner-placement gathered is
+  // the same record locality placement either kept at home or shuffled, so
+  // the byte columns partition exactly.
+  size_t level_bytes = 0;
+  ASSERT_EQ(locality.levels.size(), hub_levels);
+  for (const auto& level : locality.levels) {
+    level_bytes += level.local_bytes + level.shuffled_bytes;
+  }
+  EXPECT_EQ(owner.offline.comm.bytes,
+            locality.offline.comm.bytes + level_bytes);
+  EXPECT_EQ(owner.TotalBytes(), locality.TotalBytes());
+
+  for (const DistributedPrecompute::Result* result : {&owner, &locality}) {
+    EXPECT_GT(result->offline.simulated_seconds, 0.0);
+    EXPECT_GT(result->ledger.TotalSeconds(), 0.0);
+    EXPECT_EQ(result->ledger.num_machines(), dist.num_machines);
+  }
+}
+
+TEST(DistPrecompute, LocalityModeBitIdenticalToOwnerMode) {
+  Graph g = RandomDigraph(110, 3.0, 19);
+  HgpaOptions options = SmallOptions();
+  auto pre = HgpaPrecomputation::RunHgpa(g, options);
+
+  for (bool sequential : {false, true}) {
+    DistPrecomputeOptions dist;
+    dist.num_machines = 4;
+    dist.sequential = sequential;
+    dist.locality = OfflinePlacement::kOwner;
+    DistributedPrecompute::Result owner =
+        DistributedPrecompute::Run(g, pre->hierarchy(), options, dist);
+    dist.locality = OfflinePlacement::kLocality;
+    DistributedPrecompute::Result locality =
+        DistributedPrecompute::Run(g, pre->hierarchy(), options, dist);
+
+    // Both modes must reproduce the centralized oracle on every machine —
+    // which also makes them bit-identical to each other.
+    ExpectBitIdentical(*pre, owner);
+    ExpectBitIdentical(*pre, locality);
+    for (size_t m = 0; m < dist.num_machines; ++m) {
+      EXPECT_EQ(owner.stores[m].TotalSerializedBytes(),
+                locality.stores[m].TotalSerializedBytes())
+          << "machine " << m;
+    }
+  }
+}
+
+TEST(DistPrecompute, GpaLocalityModeBitIdenticalToCentralized) {
+  Graph g = RandomDigraph(90, 3.0, 47);
+  HgpaOptions options = SmallOptions();
+  auto pre = HgpaPrecomputation::RunGpa(g, 5, options);
+
+  DistPrecomputeOptions dist;
+  dist.num_machines = 3;
+  dist.locality = OfflinePlacement::kLocality;
+  DistributedPrecompute::Result result =
+      DistributedPrecompute::Run(g, pre->hierarchy(), options, dist);
+  ExpectBitIdentical(*pre, result);
+  // GPA's flat hierarchy has one hub level: one leaf gather + one shuffle.
+  EXPECT_EQ(result.offline.rounds, 2u);
+  EXPECT_EQ(result.offline.exchange_rounds, 1u);
+  EXPECT_EQ(result.remote_induces, 0u);
+}
+
+TEST(DistPrecompute, HomeMachinePartitionsSubgraphsAndMatchesLeafPacking) {
+  Graph g = RandomDigraph(130, 3.0, 3);
   HgpaOptions options = SmallOptions();
 
   DistPrecomputeOptions dist;
@@ -162,25 +282,21 @@ TEST(DistPrecompute, OfflineStatsCountSuperstepsAndTraffic) {
   DistributedPrecompute::Result result =
       DistributedPrecompute::RunHgpa(g, options, dist);
 
-  // One leaf round plus a skeleton and a partial round per level with hubs.
-  size_t hub_levels = 0;
-  std::vector<bool> seen(result.hierarchy->num_levels(), false);
-  for (const auto& sub : result.hierarchy->subgraphs()) {
-    if (!sub.hubs.empty() && !seen[sub.level]) {
-      seen[sub.level] = true;
-      ++hub_levels;
+  const PlacementPlan& plan = result.plan;
+  ASSERT_EQ(plan.home_machine.size(), result.hierarchy->num_subgraphs());
+  for (size_t home : plan.home_machine) {
+    EXPECT_LT(home, dist.num_machines);
+  }
+  // A leaf's home is the machine its packing put it on — the machine whose
+  // nodes it owns.
+  for (size_t m = 0; m < dist.num_machines; ++m) {
+    for (SubgraphId leaf : plan.machine_leaves[m]) {
+      EXPECT_EQ(plan.home_machine[leaf], m) << "leaf " << leaf;
+      for (NodeId u : result.hierarchy->subgraph(leaf).nodes) {
+        EXPECT_EQ(plan.own_machine[u], m);
+      }
     }
   }
-  EXPECT_EQ(result.offline.rounds, 1 + 2 * hub_levels);
-  // Every round ships one message per machine to the coordinator.
-  EXPECT_EQ(result.offline.comm.messages,
-            result.offline.rounds * dist.num_machines);
-  // All shipped payload bytes materialized as stored vectors plus record
-  // headers, so traffic must dominate the stores' serialized footprint.
-  EXPECT_GT(result.offline.comm.bytes, result.TotalBytes());
-  EXPECT_GT(result.offline.simulated_seconds, 0.0);
-  EXPECT_GT(result.ledger.TotalSeconds(), 0.0);
-  EXPECT_EQ(result.ledger.num_machines(), dist.num_machines);
 }
 
 TEST(DistPrecompute, CommBytesIndependentOfNetworkModel) {

@@ -44,6 +44,21 @@ DistributedPrecompute::Result RunOffline(const Graph& g, const Hierarchy& h,
   return DistributedPrecompute::Run(g, h, options, dist);
 }
 
+DistributedPrecompute::Result RunOfflineMode(const Graph& g, const Hierarchy& h,
+                                             const HgpaOptions& options,
+                                             OfflinePlacement placement,
+                                             TransportBackend backend,
+                                             StorageBackend storage,
+                                             size_t machines) {
+  DistPrecomputeOptions dist;
+  dist.num_machines = machines;
+  dist.locality = placement;
+  dist.transport = Backend(backend);
+  dist.storage = StorageOptions{};
+  dist.storage.backend = storage;
+  return DistributedPrecompute::Run(g, h, options, dist);
+}
+
 // Every stored vector of `tcp` must equal its `inproc` counterpart bit for
 // bit. The walk mirrors the placement plan: hubs' skeleton columns and
 // partial vectors on the machine owning the hub, own vectors on the machine
@@ -90,6 +105,22 @@ void ExpectOfflineLedgersIdentical(const DistributedPrecompute::Result& inproc,
               tcp.stores[m].TotalSerializedBytes())
         << "machine " << m;
     EXPECT_EQ(inproc.stores[m].num_vectors(), tcp.stores[m].num_vectors())
+        << "machine " << m;
+  }
+}
+
+// Cross-placement comparison: locality and owner modes take different routes
+// (shuffle vs gather), so round/traffic ledgers legitimately differ — but
+// everything derived from the stored vectors must not.
+void ExpectStoreFootprintsIdentical(const DistributedPrecompute::Result& a,
+                                    const DistributedPrecompute::Result& b) {
+  EXPECT_EQ(a.TotalBytes(), b.TotalBytes());
+  EXPECT_EQ(a.MaxMachineBytes(), b.MaxMachineBytes());
+  for (size_t m = 0; m < a.num_machines(); ++m) {
+    EXPECT_EQ(a.stores[m].TotalSerializedBytes(),
+              b.stores[m].TotalSerializedBytes())
+        << "machine " << m;
+    EXPECT_EQ(a.stores[m].num_vectors(), b.stores[m].num_vectors())
         << "machine " << m;
   }
 }
@@ -164,6 +195,92 @@ TEST(NetEquivalence, SequentialAndParallelTcpOfflineAgree) {
   auto b = DistributedPrecompute::Run(g, h, options, parallel);
   ExpectOfflineLedgersIdentical(a, b);
   ExpectStoresIdentical(a, b);
+}
+
+TEST(NetEquivalence, LocalityShuffleMatchesOwnerAcrossTransportsAndStores) {
+  // The locality pipeline's acceptance matrix: owner vs locality placement,
+  // crossed with both transports and both storage backends, must produce
+  // bit-identical stores and query answers. The shuffle may only change who
+  // computes and which link the record crosses — never its bytes.
+  Graph g = RandomDigraph(100, 3.0, 67);
+  HgpaOptions options = SmallOptions();
+  Hierarchy h = Hierarchy::Build(g, options.hierarchy);
+
+  for (TransportBackend transport :
+       {TransportBackend::kInProcess, TransportBackend::kTcp}) {
+    for (StorageBackend storage :
+         {StorageBackend::kMemoryOwned, StorageBackend::kDisk}) {
+      auto owner = RunOfflineMode(g, h, options, OfflinePlacement::kOwner,
+                                  transport, storage, 4);
+      auto locality = RunOfflineMode(g, h, options, OfflinePlacement::kLocality,
+                                     transport, storage, 4);
+      EXPECT_EQ(locality.remote_induces, 0u);
+      EXPECT_GT(owner.remote_induces, 0u);
+      EXPECT_GT(locality.offline.exchange_rounds, 0u);
+      ExpectStoreFootprintsIdentical(owner, locality);
+      ExpectStoresIdentical(owner, locality);
+
+      HgpaQueryEngine owner_engine(
+          HgpaIndex::FromDistributed(std::move(owner)), NetworkModel{},
+          Backend(transport));
+      HgpaQueryEngine locality_engine(
+          HgpaIndex::FromDistributed(std::move(locality)), NetworkModel{},
+          Backend(transport));
+      ExpectQuerySurfaceIdentical(g, owner_engine, locality_engine);
+    }
+  }
+}
+
+TEST(NetEquivalence, GpaLocalityShuffleMatchesOwnerOverTcp) {
+  Graph g = RandomDigraph(80, 3.0, 71);
+  HgpaOptions options = SmallOptions();
+  Hierarchy flat = Hierarchy::BuildFlat(g, 4, options.hierarchy.partition);
+
+  auto owner =
+      RunOfflineMode(g, flat, options, OfflinePlacement::kOwner,
+                     TransportBackend::kTcp, StorageBackend::kMemoryOwned, 3);
+  auto locality =
+      RunOfflineMode(g, flat, options, OfflinePlacement::kLocality,
+                     TransportBackend::kTcp, StorageBackend::kMemoryOwned, 3);
+  ExpectStoreFootprintsIdentical(owner, locality);
+  ExpectStoresIdentical(owner, locality);
+}
+
+TEST(NetEquivalence, LocalityShuffledBytesIdenticalAcrossBackends) {
+  // The shuffle ledger column is payload-derived like the gather one: the
+  // same bytes must be reported whether the exchange rode the in-process
+  // mailbox or TCP sockets, sequential or parallel.
+  Graph g = RandomDigraph(90, 3.0, 83);
+  HgpaOptions options = SmallOptions();
+  Hierarchy h = Hierarchy::Build(g, options.hierarchy);
+
+  std::vector<DistributedPrecompute::Result> runs;
+  for (TransportBackend transport :
+       {TransportBackend::kInProcess, TransportBackend::kTcp}) {
+    for (bool sequential : {false, true}) {
+      DistPrecomputeOptions dist;
+      dist.num_machines = 4;
+      dist.sequential = sequential;
+      dist.locality = OfflinePlacement::kLocality;
+      dist.transport = Backend(transport);
+      runs.push_back(DistributedPrecompute::Run(g, h, options, dist));
+    }
+  }
+  const auto& first = runs.front();
+  EXPECT_GT(first.offline.shuffled.bytes, 0u);
+  for (size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].offline.shuffled.bytes, first.offline.shuffled.bytes);
+    EXPECT_EQ(runs[i].offline.shuffled.messages,
+              first.offline.shuffled.messages);
+    EXPECT_EQ(runs[i].offline.rounds, first.offline.rounds);
+    EXPECT_EQ(runs[i].offline.exchange_rounds, first.offline.exchange_rounds);
+    ASSERT_EQ(runs[i].levels.size(), first.levels.size());
+    for (size_t l = 0; l < first.levels.size(); ++l) {
+      EXPECT_EQ(runs[i].levels[l].shuffled_bytes, first.levels[l].shuffled_bytes);
+      EXPECT_EQ(runs[i].levels[l].local_bytes, first.levels[l].local_bytes);
+      EXPECT_EQ(runs[i].levels[l].induces, first.levels[l].induces);
+    }
+  }
 }
 
 TEST(NetEquivalence, ServedTopKAndStatsMatchOverTcp) {

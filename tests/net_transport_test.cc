@@ -258,8 +258,16 @@ TEST(SimClusterTransport, ExchangeRunsOnBothBackendsAndBothModes) {
       SimCluster::ExchangeResult result = cluster.RunExchange(task);
       ASSERT_EQ(result.inboxes.size(), 4u);
       // Every payload is one message, empty or not — n² per exchange.
-      EXPECT_EQ(result.exchanged.messages, 16u);
-      EXPECT_EQ(result.exchanged.bytes, 3u * 4u * 2u);  // machines 1..3 × 4 dsts × 2 bytes
+      EXPECT_EQ(result.metrics.exchanged.messages, 16u);
+      EXPECT_EQ(result.metrics.exchanged.bytes, 3u * 4u * 2u);  // machines 1..3 × 4 dsts × 2 bytes
+      // The shuffled column excludes the n self-addressed payloads: 12
+      // messages, and machines 1..3 each keep their own 2-byte self payload.
+      EXPECT_EQ(result.metrics.shuffled.messages, 12u);
+      EXPECT_EQ(result.metrics.shuffled.bytes, 3u * 4u * 2u - 3u * 2u);
+      ASSERT_EQ(result.metrics.ingress.size(), 4u);
+      for (const CommStats& in : result.metrics.ingress) {
+        EXPECT_EQ(in.messages, 3u);
+      }
       for (size_t dst = 0; dst < 4; ++dst) {
         EXPECT_TRUE(result.inboxes[dst][0].empty());
         for (size_t src = 1; src < 4; ++src) {
@@ -268,7 +276,7 @@ TEST(SimClusterTransport, ExchangeRunsOnBothBackendsAndBothModes) {
                                           static_cast<uint8_t>(dst)}));
         }
       }
-      EXPECT_EQ(result.machine_seconds.size(), 4u);
+      EXPECT_EQ(result.metrics.machine_seconds.size(), 4u);
     }
   }
 }
