@@ -3,11 +3,25 @@
 #include <algorithm>
 #include <numeric>
 
+#include "dppr/common/env.h"
 #include "dppr/common/serialize.h"
 #include "dppr/common/timer.h"
 #include "dppr/ppr/sparse_vector.h"
 
 namespace dppr {
+namespace {
+
+/// DPPR_PREFETCH=on|off (default on). A typo must not silently serve
+/// unprefetched — same refuse-to-guess policy as DPPR_STORE.
+bool PrefetchEnabledFromEnv() {
+  std::string value = GetEnvString("DPPR_PREFETCH", "on");
+  if (value == "on") return true;
+  if (value == "off") return false;
+  DPPR_CHECK(false && "DPPR_PREFETCH must be \"on\" or \"off\"");
+  return true;
+}
+
+}  // namespace
 
 HgpaIndex HgpaIndex::Distribute(
     std::shared_ptr<const HgpaPrecomputation> precomputation,
@@ -108,10 +122,47 @@ size_t HgpaIndex::ResidentBytesTotal() const {
 HgpaQueryEngine::HgpaQueryEngine(HgpaIndex index, NetworkModel network,
                                  TransportOptions transport)
     : index_(std::move(index)),
-      cluster_(index_.num_machines(), network, /*sequential=*/false, transport) {}
+      cluster_(index_.num_machines(), network, /*sequential=*/false, transport),
+      prefetch_enabled_(PrefetchEnabledFromEnv()) {}
+
+std::vector<uint64_t> HgpaQueryEngine::CollectBatchKeys(
+    size_t machine, std::span<const std::span<const Preference>> queries) const {
+  const Hierarchy& hierarchy = index_.hierarchy();
+  const auto& my_hubs = index_.hubs_on_machine(machine);
+  std::vector<uint64_t> keys;
+  for (std::span<const Preference> preferences : queries) {
+    for (const Preference& pref : preferences) {
+      if (pref.weight == 0.0) continue;
+      NodeId query = pref.node;
+      for (SubgraphId sub : hierarchy.Chain(query)) {
+        auto it = my_hubs.find(sub);
+        if (it == my_hubs.end()) continue;
+        for (NodeId hub : it->second) {
+          keys.push_back(MakeVectorKey(VectorKind::kSkeletonColumn, sub, hub));
+          keys.push_back(MakeVectorKey(VectorKind::kHubPartial, sub, hub));
+        }
+      }
+      if (index_.own_vector_machine(query) == machine) {
+        SubgraphId final_sub = hierarchy.final_subgraph(query);
+        VectorKind kind = hierarchy.is_hub(query) ? VectorKind::kHubPartial
+                                                  : VectorKind::kOwnVector;
+        keys.push_back(MakeVectorKey(kind, final_sub, query));
+      }
+    }
+  }
+  return keys;
+}
 
 std::vector<uint8_t> HgpaQueryEngine::MachineTask(
     size_t machine, std::span<const std::span<const Preference>> queries) const {
+  // Pull the batch's cold extents in up front with sorted, coalesced reads:
+  // without this every miss preads one extent inside the fold, serialized
+  // per hub. Only the disk backend has anything to load, so the in-memory
+  // backends skip the key enumeration entirely.
+  const PpvStore& store = index_.store(machine);
+  if (prefetch_enabled_ && store.backend() == StorageBackend::kDisk) {
+    store.Prefetch(CollectBatchKeys(machine, queries));
+  }
   // One accumulator reused across the batch (Clear is O(touched)); the
   // payload concatenates one serialized fragment per query, in query order.
   DenseAccumulator acc(index_.hierarchy().num_nodes());
@@ -148,12 +199,15 @@ void HgpaQueryEngine::AccumulateQuery(size_t machine,
       auto it = my_hubs.find(sub);
       if (it == my_hubs.end()) continue;
       for (NodeId hub : it->second) {
-        // PpvRef pins keep each vector resident for exactly the fold that
-        // uses it — under the disk backend the residency cache may evict it
-        // the moment the pin drops.
-        PpvRef skeleton = store.Find(VectorKind::kSkeletonColumn, sub, hub);
-        DPPR_DCHECK(skeleton);
-        double s = skeleton->ValueAt(query);
+        // One paired probe resolves both hub vectors (a hub placed here
+        // always stores its skeleton column and partial together). PpvRef
+        // pins keep each vector resident for exactly the fold that uses it —
+        // under the disk backend the residency cache may evict it the moment
+        // the pin drops.
+        PpvPair hub_vectors = store.FindPair(sub, hub);
+        DPPR_DCHECK(hub_vectors.skeleton);
+        DPPR_DCHECK(hub_vectors.partial);
+        double s = hub_vectors.skeleton->ValueAt(query);
         if (s == 0.0) continue;
         // Hub-coordinate replacement: coordinate h gets its exact local PPV
         // value at this level.
@@ -162,9 +216,7 @@ void HgpaQueryEngine::AccumulateQuery(size_t machine,
         // hub's partial vector over the non-hub coordinates.
         if (query == hub) s -= alpha;
         if (s == 0.0) continue;
-        PpvRef partial = store.Find(VectorKind::kHubPartial, sub, hub);
-        DPPR_DCHECK(partial);
-        acc.AddVector(*partial, query_weight * s / alpha);
+        acc.AddVector(*hub_vectors.partial, query_weight * s / alpha);
       }
     }
 

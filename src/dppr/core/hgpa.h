@@ -183,6 +183,14 @@ class HgpaQueryEngine {
   void AccumulateQuery(size_t machine, std::span<const Preference> preferences,
                        DenseAccumulator& acc) const;
 
+  /// Every storage key the batch's query folds will look up on `machine`, in
+  /// fold order — what MachineTask hands to PpvStore::Prefetch so the disk
+  /// backend's cold misses overlap up front instead of serializing inside
+  /// AccumulateQuery.
+  std::vector<uint64_t> CollectBatchKeys(
+      size_t machine,
+      std::span<const std::span<const Preference>> queries) const;
+
   std::vector<SparseVector> RunDistributed(
       std::span<const std::span<const Preference>> queries,
       std::vector<QueryMetrics>* per_query_metrics,
@@ -190,6 +198,10 @@ class HgpaQueryEngine {
 
   HgpaIndex index_;
   SimCluster cluster_;
+  /// DPPR_PREFETCH gate, read once at construction ("on" unless overridden;
+  /// a typo dies). Only consulted for disk-backed stores — the in-memory
+  /// backends have nothing to prefetch, so key enumeration is skipped too.
+  bool prefetch_enabled_;
 };
 
 }  // namespace dppr

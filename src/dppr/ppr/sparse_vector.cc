@@ -1,6 +1,7 @@
 #include "dppr/ppr/sparse_vector.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "dppr/common/macros.h"
@@ -25,6 +26,15 @@ SparseVector SparseVector::FromEntries(std::vector<Entry> entries) {
     // FromDense / Pruned at threshold 0.
     if (std::abs(sum) > 0.0) v.entries_.push_back({index, sum});
   }
+  return v;
+}
+
+SparseVector SparseVector::FromSortedUnique(std::vector<Entry> entries) {
+  for (size_t i = 1; i < entries.size(); ++i) {
+    DPPR_DCHECK(entries[i - 1].index < entries[i].index);
+  }
+  SparseVector v;
+  v.entries_ = std::move(entries);
   return v;
 }
 
@@ -54,10 +64,12 @@ double SparseVector::L1Norm() const {
 }
 
 void SparseVector::AddScaledTo(std::span<double> dense, double scale) const {
-  for (const Entry& e : entries_) {
-    DPPR_DCHECK(e.index < dense.size());
-    dense[e.index] += scale * e.value;
-  }
+  if (entries_.empty()) return;
+  // Entries are sorted, so one check on the last index bounds them all and
+  // the loop body stays a pure load-multiply-add-store chain.
+  DPPR_DCHECK(entries_.back().index < dense.size());
+  double* out = dense.data();
+  for (const Entry& e : entries_) out[e.index] += scale * e.value;
 }
 
 SparseVector SparseVector::Pruned(double threshold) const {
@@ -125,34 +137,87 @@ size_t SparseVector::SerializedBytes() const {
   return total;
 }
 
-void DenseAccumulator::Add(NodeId index, double value) {
-  DPPR_DCHECK(index < values_.size());
-  if (!touched_flag_[index]) {
-    touched_flag_[index] = 1;
-    touched_.push_back(index);
+void DenseAccumulator::AddVector(const SparseVector& vec, double scale) {
+  std::span<const SparseVector::Entry> entries = vec.entries();
+  const size_t n = entries.size();
+  if (n == 0) return;
+  // Entries are sorted: the last index bounds them all.
+  DPPR_DCHECK(entries.back().index < values_.size());
+  const SparseVector::Entry* e = entries.data();
+  double* values = values_.data();
+  // Pass 1 — value accumulation, unconditionally: no touched branch, no
+  // allocation, nothing but the scaled add per entry. Same multiply-then-add
+  // per index, in the same entry order, as the scalar Add loop this split
+  // replaced, so the floating-point results are bit-identical.
+  for (size_t i = 0; i < n; ++i) values[e[i].index] += scale * e[i].value;
+  // Pass 2 — touched bookkeeping, one bitmap read-modify-write per 64-id
+  // block: sorted entries make each block's indices consecutive, so the mask
+  // is built branch-free and the dirty-word test runs once per block.
+  size_t i = 0;
+  while (i < n) {
+    const size_t word = e[i].index >> 6;
+    uint64_t mask = 0;
+    do {
+      mask |= uint64_t{1} << (e[i].index & 63);
+      ++i;
+    } while (i < n && (e[i].index >> 6) == word);
+    MarkWord(word, mask);
   }
-  values_[index] += value;
 }
 
-void DenseAccumulator::AddVector(const SparseVector& vec, double scale) {
-  for (const auto& e : vec.entries()) Add(e.index, scale * e.value);
+std::vector<uint32_t> DenseAccumulator::SortedDirtyWords() const {
+  std::vector<uint32_t> words = dirty_words_;
+  std::sort(words.begin(), words.end());
+  return words;
+}
+
+std::vector<NodeId> DenseAccumulator::TouchedIndices() const {
+  std::vector<NodeId> indices;
+  for (uint32_t w : SortedDirtyWords()) {
+    uint64_t bits = touched_words_[w];
+    while (bits != 0) {
+      indices.push_back((static_cast<NodeId>(w) << 6) +
+                        static_cast<NodeId>(std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+  return indices;
 }
 
 SparseVector DenseAccumulator::ToSparse(double prune_below) const {
+  // Walking the bitmap in word order yields indices already sorted and
+  // unique, so the result adopts the entries directly — the sort-and-merge
+  // pass FromEntries pays is gone from the query fold. The emitted set is
+  // unchanged: |value| > prune_below, exact zeros excluded either way.
   std::vector<SparseVector::Entry> entries;
-  entries.reserve(touched_.size());
-  for (NodeId i : touched_) {
-    if (std::abs(values_[i]) > prune_below) entries.push_back({i, values_[i]});
+  entries.reserve(dirty_words_.size());  // >= one touched index per word
+  for (uint32_t w : SortedDirtyWords()) {
+    uint64_t bits = touched_words_[w];
+    const double* values = values_.data() + (static_cast<size_t>(w) << 6);
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      bits &= bits - 1;
+      if (std::abs(values[bit]) > prune_below) {
+        entries.push_back(
+            {(static_cast<NodeId>(w) << 6) + static_cast<NodeId>(bit),
+             values[bit]});
+      }
+    }
   }
-  return SparseVector::FromEntries(std::move(entries));
+  return SparseVector::FromSortedUnique(std::move(entries));
 }
 
 void DenseAccumulator::Clear() {
-  for (NodeId i : touched_) {
-    values_[i] = 0.0;
-    touched_flag_[i] = 0;
+  for (uint32_t w : dirty_words_) {
+    uint64_t bits = touched_words_[w];
+    touched_words_[w] = 0;
+    double* values = values_.data() + (static_cast<size_t>(w) << 6);
+    while (bits != 0) {
+      values[std::countr_zero(bits)] = 0.0;
+      bits &= bits - 1;
+    }
   }
-  touched_.clear();
+  dirty_words_.clear();
 }
 
 }  // namespace dppr

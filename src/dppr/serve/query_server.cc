@@ -185,6 +185,10 @@ ServerStats QueryServer::Stats() const {
   stats.cache_hits = storage.cache_hits;
   stats.cache_misses = storage.cache_misses;
   stats.disk_bytes_read = storage.disk_bytes_read;
+  stats.prefetch_issued = storage.prefetch_issued;
+  stats.prefetch_hits = storage.prefetch_hits;
+  stats.prefetch_coalesced_reads = storage.prefetch_coalesced_reads;
+  stats.prefetch_bytes = storage.prefetch_bytes;
   return stats;
 }
 

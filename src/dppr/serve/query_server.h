@@ -61,6 +61,14 @@ struct ServerStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t disk_bytes_read = 0;
+  /// Batched extent prefetch over the window (disk backend with
+  /// DPPR_PREFETCH=on; zero otherwise): loads started by Prefetch, keys
+  /// already resident when examined, coalesced preads issued, and bytes
+  /// those reads pulled in.
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_coalesced_reads = 0;
+  uint64_t prefetch_bytes = 0;
 };
 
 /// Concurrent query front-end over one shared HgpaIndex/HgpaQueryEngine.

@@ -5,8 +5,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <fstream>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -27,6 +30,10 @@ struct DiskMetrics {
   obs::Counter* bytes_read;
   obs::Histogram* miss_extent_read_us;
   obs::Histogram* singleflight_wait_us;
+  obs::Counter* prefetch_issued;
+  obs::Counter* prefetch_hits;
+  obs::Counter* prefetch_coalesced_reads;
+  obs::Counter* prefetch_bytes;
 
   static const DiskMetrics& Get() {
     static const DiskMetrics metrics = [] {
@@ -35,11 +42,60 @@ struct DiskMetrics {
                          r.GetCounter("store.disk.misses"),
                          r.GetCounter("store.disk.bytes_read"),
                          r.GetHistogram("store.disk.miss_extent_read_us"),
-                         r.GetHistogram("store.disk.singleflight_wait_us")};
+                         r.GetHistogram("store.disk.singleflight_wait_us"),
+                         r.GetCounter("store.prefetch.issued"),
+                         r.GetCounter("store.prefetch.hits"),
+                         r.GetCounter("store.prefetch.coalesced_reads"),
+                         r.GetCounter("store.prefetch.bytes")};
     }();
     return metrics;
   }
 };
+
+/// First line of a segment-manifest spill. A named spill path holds this
+/// small text manifest; the records live in per-kind segment files next to
+/// it. A path whose bytes don't start with the magic is a legacy single-file
+/// record stream and still opens (all segment slots alias the one file).
+constexpr std::string_view kManifestMagic = "DPPR-SPILL-MANIFEST v1";
+
+/// Manifest line prefixes and named-segment filename suffixes, indexed by
+/// VectorKind.
+constexpr const char* kSegmentName[kNumVectorKinds] = {
+    "hub_partial", "skeleton_column", "own_vector"};
+
+/// One coalesced prefetch read covers at most this many bytes, bounding the
+/// transient buffer regardless of how many adjacent extents line up.
+constexpr uint64_t kMaxPrefetchRunBytes = uint64_t{4} << 20;
+
+std::string DirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+std::string BaseOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DPPR_CHECK(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  DPPR_CHECK(!in.bad());
+  return text;
+}
+
+/// True when the file at `path` starts with the manifest magic (reads only
+/// the prefix — a legacy spill can be huge).
+bool HasManifestMagic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DPPR_CHECK(in.good());
+  std::string prefix(kManifestMagic.size(), '\0');
+  in.read(prefix.data(), static_cast<std::streamsize>(prefix.size()));
+  return static_cast<size_t>(in.gcount()) == prefix.size() &&
+         prefix == kManifestMagic;
+}
 
 }  // namespace
 
@@ -137,30 +193,119 @@ void SpillFile::Scan(
 // DiskSpillStorage
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Fresh segment set: three anonymous temp files, or — for a named spill —
+/// three `<path>.<kind>` segment files plus the manifest written at `path`.
+/// Segments are created eagerly (not on first append of their kind) so a
+/// clone taken at any time shares every file the original will ever write.
+std::array<std::shared_ptr<SpillFile>, kNumVectorKinds> CreateSegments(
+    const StorageOptions& options) {
+  std::array<std::shared_ptr<SpillFile>, kNumVectorKinds> files;
+  if (options.spill_path.empty()) {
+    for (auto& file : files) file = SpillFile::CreateTemp(options.spill_dir);
+    return files;
+  }
+  std::string dir = DirOf(options.spill_path);
+  std::string base = BaseOf(options.spill_path);
+  std::string manifest(kManifestMagic);
+  manifest += '\n';
+  for (uint8_t k = 0; k < kNumVectorKinds; ++k) {
+    std::string segment_base = base + "." + kSegmentName[k];
+    files[k] = SpillFile::CreateAt(dir + "/" + segment_base);
+    manifest += std::string(kSegmentName[k]) + " " + segment_base + "\n";
+  }
+  manifest += "end\n";
+  std::ofstream out(options.spill_path,
+                    std::ios::binary | std::ios::trunc);
+  out << manifest;
+  out.flush();
+  DPPR_CHECK(out.good());
+  return files;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
 DiskSpillStorage::DiskSpillStorage(const StorageOptions& options)
-    : DiskSpillStorage(options.spill_path.empty()
-                           ? SpillFile::CreateTemp(options.spill_dir)
-                           : SpillFile::CreateAt(options.spill_path),
-                       options.cache_bytes) {}
+    : DiskSpillStorage(CreateSegments(options), options.cache_bytes) {}
 
 std::unique_ptr<DiskSpillStorage> DiskSpillStorage::OpenExisting(
     const std::string& path, const StorageOptions& options) {
-  std::unique_ptr<DiskSpillStorage> store(
-      new DiskSpillStorage(SpillFile::Open(path), options.cache_bytes));
-  // Rebuild the index by walking the record stream. Every record is fully
+  // Rebuild the index by walking the record stream(s). Every record is fully
   // re-validated (VectorRecord::Deserialize DPPR_CHECKs kinds, id ranges and
   // blob framing), so truncation or corruption dies here — at open — rather
   // than serving garbage at query time.
-  store->file_->Scan([&](std::span<const uint8_t> bytes) {
-    ByteReader reader(bytes.data(), bytes.size());
-    while (!reader.AtEnd()) {
-      size_t start = reader.position();
-      VectorRecord record = VectorRecord::Deserialize(reader);
-      store->IndexExtent(MakeVectorKey(record.kind, record.sub, record.node),
-                         {start, reader.position() - start});
-      store->Charge(record.kind, record.vec.SerializedBytes());
-    }
-  });
+  auto scan_into = [](DiskSpillStorage& store, SpillFile& file,
+                      int expected_kind) {
+    file.Scan([&](std::span<const uint8_t> bytes) {
+      ByteReader reader(bytes.data(), bytes.size());
+      while (!reader.AtEnd()) {
+        size_t start = reader.position();
+        VectorRecord record = VectorRecord::Deserialize(reader);
+        // In a per-kind segment every record must carry that segment's kind:
+        // a record smuggled into the wrong file would later be read back
+        // from the wrong segment.
+        DPPR_CHECK(expected_kind < 0 ||
+                   static_cast<int>(record.kind) == expected_kind);
+        store.IndexExtent(MakeVectorKey(record.kind, record.sub, record.node),
+                          {start, reader.position() - start});
+        store.Charge(record.kind, record.vec.SerializedBytes());
+      }
+    });
+  };
+
+  if (!HasManifestMagic(path)) {
+    // Legacy single-file spill: one record stream holds every kind, and all
+    // three segment slots alias it, so key-derived segment routing still
+    // lands on the right file.
+    SegmentArray files;
+    files.fill(SpillFile::Open(path));
+    std::unique_ptr<DiskSpillStorage> store(
+        new DiskSpillStorage(std::move(files), options.cache_bytes));
+    scan_into(*store, *store->files_[0], /*expected_kind=*/-1);
+    return store;
+  }
+
+  // Segment manifest: magic line, one "<kind> <basename>" line per kind in
+  // enum order, then the "end" trailer — a truncated manifest loses the
+  // trailer and dies here.
+  std::vector<std::string> lines = SplitLines(ReadWholeFile(path));
+  DPPR_CHECK_GE(lines.size(), size_t{kNumVectorKinds} + 2);
+  DPPR_CHECK(lines[0] == kManifestMagic);
+  DPPR_CHECK(lines[1 + kNumVectorKinds] == "end");
+  std::string dir = DirOf(path);
+  SegmentArray files;
+  for (uint8_t k = 0; k < kNumVectorKinds; ++k) {
+    const std::string& line = lines[1 + k];
+    std::string prefix = std::string(kSegmentName[k]) + " ";
+    DPPR_CHECK(line.rfind(prefix, 0) == 0);
+    std::string basename = line.substr(prefix.size());
+    DPPR_CHECK(!basename.empty());
+    // Segments live next to the manifest; a path component would let a
+    // hostile manifest read arbitrary files.
+    DPPR_CHECK(basename.find('/') == std::string::npos);
+    files[k] = SpillFile::Open(dir + "/" + basename);
+  }
+  std::unique_ptr<DiskSpillStorage> store(
+      new DiskSpillStorage(std::move(files), options.cache_bytes));
+  for (uint8_t k = 0; k < kNumVectorKinds; ++k) {
+    scan_into(*store, *store->files_[k], /*expected_kind=*/k);
+  }
   return store;
 }
 
@@ -174,7 +319,7 @@ void DiskSpillStorage::AppendVector(VectorKind kind, SubgraphId sub, NodeId node
                                     size_t serialized_bytes) {
   ByteWriter writer;
   VectorRecord::Serialize(writer, kind, sub, node, seconds, vec);
-  SpillExtent extent = file_->Append(writer.bytes());
+  SpillExtent extent = files_[static_cast<uint8_t>(kind)]->Append(writer.bytes());
   IndexExtent(MakeVectorKey(kind, sub, node), extent);
   // The ledger charges the vector's serialized size, same as the in-memory
   // backends, so the paper's space metrics are backend-invariant; the record
@@ -205,10 +350,21 @@ double DiskSpillStorage::IngestFrom(ByteReader& reader) {
   // dropped right after — ingest streams the raw record bytes to the spill
   // file, so coordinator RAM stays bounded by one record, not the index.
   VectorRecord record = VectorRecord::Deserialize(reader);
-  SpillExtent extent = file_->Append(reader.Slice(start, reader.position()));
+  SpillExtent extent = files_[static_cast<uint8_t>(record.kind)]->Append(
+      reader.Slice(start, reader.position()));
   IndexExtent(MakeVectorKey(record.kind, record.sub, record.node), extent);
   Charge(record.kind, record.vec.SerializedBytes());
   return record.seconds;
+}
+
+PpvRef DiskSpillStorage::CachedLocked(uint64_t key) const {
+  auto cit = cache_.find(key);
+  if (cit == cache_.end()) return {};
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  DiskMetrics::Get().hits->Increment();
+  std::list<uint64_t>& lru = LruFor(key);
+  lru.splice(lru.begin(), lru, cit->second.lru_it);
+  return PpvRef(cit->second.vec);
 }
 
 PpvRef DiskSpillStorage::Find(VectorKind kind, SubgraphId sub, NodeId node) const {
@@ -219,13 +375,7 @@ PpvRef DiskSpillStorage::Find(VectorKind kind, SubgraphId sub, NodeId node) cons
     std::shared_ptr<InFlightLoad> load;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      auto cit = cache_.find(key);
-      if (cit != cache_.end()) {
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        DiskMetrics::Get().hits->Increment();
-        lru_.splice(lru_.begin(), lru_, cit->second.lru_it);
-        return PpvRef(cit->second.vec);
-      }
+      if (PpvRef cached = CachedLocked(key)) return cached;
       // Singleflight: if another thread is already reading this extent, wait
       // for its result instead of issuing a duplicate pread. A follower still
       // counts as a miss (the lookup was not served from RAM) but adds no
@@ -258,6 +408,180 @@ PpvRef DiskSpillStorage::Find(VectorKind kind, SubgraphId sub, NodeId node) cons
   }
 }
 
+PpvPair DiskSpillStorage::FindPair(SubgraphId sub, NodeId hub) const {
+  const uint64_t skel_key = MakeVectorKey(VectorKind::kSkeletonColumn, sub, hub);
+  const uint64_t part_key = MakeVectorKey(VectorKind::kHubPartial, sub, hub);
+  const bool has_skel = extents_.find(skel_key) != extents_.end();
+  const bool has_part = extents_.find(part_key) != extents_.end();
+  PpvPair pair;
+  if (!has_skel && !has_part) return pair;
+  {
+    // Fast path: both vectors resident (the steady state once Prefetch has
+    // run) resolve under a single lock acquisition.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (has_skel) pair.skeleton = CachedLocked(skel_key);
+    if (has_part) pair.partial = CachedLocked(part_key);
+  }
+  // Whatever the cache couldn't serve takes the full per-key Find (miss
+  // accounting, singleflight, extent load) — same behavior as two Finds.
+  if (has_skel && !pair.skeleton) {
+    pair.skeleton = Find(VectorKind::kSkeletonColumn, sub, hub);
+  }
+  if (has_part && !pair.partial) {
+    pair.partial = Find(VectorKind::kHubPartial, sub, hub);
+  }
+  return pair;
+}
+
+void DiskSpillStorage::Prefetch(std::span<const uint64_t> keys) const {
+  if (keys.empty()) return;
+  obs::TraceSpan span(obs::kCoordinatorLane, "store.prefetch");
+  span.Arg("keys", keys.size());
+  const DiskMetrics& metrics = DiskMetrics::Get();
+
+  struct Pending {
+    uint64_t key = 0;
+    SpillExtent extent;
+    /// Null once the load has been published (or never registered).
+    std::shared_ptr<InFlightLoad> load;
+  };
+  // Per-kind buckets: extents sort and coalesce within their own segment.
+  std::array<std::vector<Pending>, kNumVectorKinds> buckets;
+  uint64_t already_resident = 0;
+  {
+    // A pass never plans more than half the budget of new loads: beyond
+    // that the cache would evict prefetched records before the fold reads
+    // them, and the batch would pay the prefetch reads AND the fold's
+    // re-reads. Keys arrive in fold order, so the prefix we keep is exactly
+    // what the fold needs first; the tail cold-misses as before.
+    const uint64_t planned_cap = cache_budget_ / 2;
+    uint64_t planned_bytes = 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t key : keys) {
+      auto eit = extents_.find(key);
+      if (eit == extents_.end()) continue;  // not stored on this machine
+      // A record larger than the whole budget can never stay cached;
+      // prefetching it would read the extent now and again at Find time,
+      // doubling the I/O instead of hiding it.
+      if (eit->second.length > cache_budget_) continue;
+      if (cache_.find(key) != cache_.end()) {
+        ++already_resident;
+        continue;
+      }
+      // Someone (a Find leader or an earlier duplicate in `keys`) is already
+      // reading this extent; they will populate the cache.
+      if (inflight_.find(key) != inflight_.end()) continue;
+      if (planned_bytes + eit->second.length > planned_cap) break;
+      planned_bytes += eit->second.length;
+      auto load = std::make_shared<InFlightLoad>();
+      inflight_.emplace(key, load);
+      buckets[key >> 60].push_back({key, eit->second, std::move(load)});
+    }
+  }
+  prefetch_hits_.fetch_add(already_resident, std::memory_order_relaxed);
+  metrics.prefetch_hits->Add(already_resident);
+  size_t issued = 0;
+  for (const auto& bucket : buckets) issued += bucket.size();
+  span.Arg("loads", issued);
+  if (issued == 0) return;
+  prefetch_issued_.fetch_add(issued, std::memory_order_relaxed);
+  metrics.prefetch_issued->Add(issued);
+
+  // Every registered load must be resolved even if something below unwinds
+  // (the reads and parses allocate): mark the unpublished remainder failed
+  // and wake their followers, exactly like a failed Find leader.
+  struct AbandonRest {
+    const DiskSpillStorage* store;
+    std::array<std::vector<Pending>, kNumVectorKinds>& buckets;
+    ~AbandonRest() {
+      std::lock_guard<std::mutex> lock(store->mu_);
+      for (auto& bucket : buckets) {
+        for (Pending& p : bucket) {
+          if (p.load == nullptr) continue;
+          p.load->failed = true;
+          p.load->done = true;
+          store->inflight_.erase(p.key);
+          p.load->done_cv.notify_all();
+        }
+      }
+    }
+  } abandon{this, buckets};
+
+  uint64_t reads = 0;
+  uint64_t bytes_read = 0;
+  for (auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    // Offset order within the segment: adjacent records — consecutive
+    // appends of the same kind, the common case after per-kind segmentation
+    // — coalesce into one pread.
+    std::sort(bucket.begin(), bucket.end(), [](const Pending& a, const Pending& b) {
+      return a.extent.offset < b.extent.offset;
+    });
+    SpillFile& file = SegmentFor(bucket.front().key);
+    size_t i = 0;
+    while (i < bucket.size()) {
+      size_t j = i + 1;
+      uint64_t run_end = bucket[i].extent.offset + bucket[i].extent.length;
+      while (j < bucket.size() && bucket[j].extent.offset == run_end &&
+             run_end - bucket[i].extent.offset + bucket[j].extent.length <=
+                 kMaxPrefetchRunBytes) {
+        run_end += bucket[j].extent.length;
+        ++j;
+      }
+      const SpillExtent run{bucket[i].extent.offset,
+                            run_end - bucket[i].extent.offset};
+      std::vector<uint8_t> buf(run.length);
+      file.Read(run, buf);
+      ++reads;
+      bytes_read += run.length;
+
+      // Parse each record out of its slice of the run, then publish the
+      // whole run under one lock acquisition.
+      std::vector<std::pair<size_t, std::shared_ptr<const SparseVector>>> loaded;
+      loaded.reserve(j - i);
+      for (size_t k = i; k < j; ++k) {
+        const Pending& p = bucket[k];
+        ByteReader reader(buf.data() + (p.extent.offset - run.offset),
+                          p.extent.length);
+        VectorRecord record = VectorRecord::Deserialize(reader);
+        DPPR_CHECK(reader.AtEnd());
+        // The record must be the one its key promised — same aliased-extent
+        // refusal as the Find miss path.
+        DPPR_CHECK_EQ(MakeVectorKey(record.kind, record.sub, record.node),
+                      p.key);
+        loaded.emplace_back(
+            k, std::make_shared<const SparseVector>(std::move(record.vec)));
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto& [k, vec] : loaded) {
+          Pending& p = bucket[k];
+          // A prefetched extent was read from disk, not served from RAM:
+          // cache-miss semantics, billed once here (the later Find hits).
+          misses_.fetch_add(1, std::memory_order_relaxed);
+          metrics.misses->Increment();
+          p.load->vec = vec;
+          p.load->done = true;
+          inflight_.erase(p.key);
+          p.load->done_cv.notify_all();
+          InsertIntoCacheLocked(p.key, std::move(vec),
+                                static_cast<size_t>(p.extent.length));
+          p.load.reset();
+        }
+      }
+      i = j;
+    }
+  }
+  disk_bytes_read_.fetch_add(bytes_read, std::memory_order_relaxed);
+  metrics.bytes_read->Add(bytes_read);
+  prefetch_coalesced_reads_.fetch_add(reads, std::memory_order_relaxed);
+  metrics.prefetch_coalesced_reads->Add(reads);
+  prefetch_bytes_.fetch_add(bytes_read, std::memory_order_relaxed);
+  metrics.prefetch_bytes->Add(bytes_read);
+  span.Arg("reads", reads);
+  span.Arg("bytes", bytes_read);
+}
+
 PpvRef DiskSpillStorage::Load(uint64_t key, VectorKind kind, SubgraphId sub,
                               NodeId node, SpillExtent extent,
                               std::shared_ptr<InFlightLoad> load) const {
@@ -287,7 +611,7 @@ PpvRef DiskSpillStorage::Load(uint64_t key, VectorKind kind, SubgraphId sub,
     obs::TraceSpan read_span(obs::kCoordinatorLane, "store.extent_read");
     read_span.Arg("bytes", extent.length);
     WallTimer read_timer;
-    file_->Read(extent, buf);
+    SegmentFor(key).Read(extent, buf);
     ByteReader reader(buf.data(), buf.size());
     VectorRecord parsed = VectorRecord::Deserialize(reader);
     DPPR_CHECK(reader.AtEnd());
@@ -315,28 +639,39 @@ PpvRef DiskSpillStorage::Load(uint64_t key, VectorKind kind, SubgraphId sub,
   inflight_.erase(key);
   abandon.armed = false;
   load->done_cv.notify_all();
+  InsertIntoCacheLocked(key, vec, static_cast<size_t>(extent.length));
+  return PpvRef(std::move(vec));
+}
+
+void DiskSpillStorage::InsertIntoCacheLocked(
+    uint64_t key, std::shared_ptr<const SparseVector> vec, size_t bytes) const {
   // The singleflight table guarantees no concurrent load of this key, so the
   // cache cannot already hold it (insertion only ever happens right here).
   DPPR_DCHECK(cache_.find(key) == cache_.end());
-  lru_.push_front(key);
-  cache_.emplace(key, CacheEntry{vec, static_cast<size_t>(extent.length),
-                                 lru_.begin()});
-  resident_bytes_ += static_cast<size_t>(extent.length);
-  while (resident_bytes_ > cache_budget_ && !lru_.empty()) {
-    uint64_t victim = lru_.back();
-    lru_.pop_back();
+  std::list<uint64_t>& lru = LruFor(key);
+  lru.push_front(key);
+  cache_.emplace(key, CacheEntry{std::move(vec), bytes, lru.begin()});
+  resident_bytes_ += bytes;
+  while (resident_bytes_ > cache_budget_) {
+    // Bulky kinds (hub partials, own vectors) are evicted first; the tiny
+    // skeleton columns — read on every chain walk — go only once no bulky
+    // entry is left to give back.
+    std::list<uint64_t>& victims =
+        !bulky_lru_.empty() ? bulky_lru_ : skeleton_lru_;
+    if (victims.empty()) break;
+    uint64_t victim = victims.back();
+    victims.pop_back();
     auto vit = cache_.find(victim);
     resident_bytes_ -= vit->second.bytes;
-    // Outstanding PpvRef pins (including the one returned below when the
-    // budget is smaller than this record) share ownership and stay valid.
+    // Outstanding PpvRef pins (including the caller's when the budget is
+    // smaller than this record) share ownership and stay valid.
     cache_.erase(vit);
   }
-  return PpvRef(std::move(vec));
 }
 
 std::unique_ptr<VectorStorage> DiskSpillStorage::Clone() const {
   std::unique_ptr<DiskSpillStorage> clone(
-      new DiskSpillStorage(file_, cache_budget_));
+      new DiskSpillStorage(files_, cache_budget_));
   clone->extents_ = extents_;
   clone->CopyLedgerFrom(*this);
   return clone;

@@ -1,6 +1,7 @@
 #ifndef DPPR_STORE_DISK_STORAGE_H_
 #define DPPR_STORE_DISK_STORAGE_H_
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -11,6 +12,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "dppr/store/vector_storage.h"
 
@@ -69,33 +71,48 @@ class SpillFile {
 };
 
 /// Disk-backed spill storage: every put serializes its vector as a
-/// VectorRecord and appends it to the spill file (ingest streams the raw wire
-/// bytes straight through, so the coordinator never materializes a machine's
-/// index in RAM); lookups go through a byte-budgeted read-through LRU
-/// residency cache keyed on the vector key. A cache miss preads the record's
-/// extent, re-validates it (header must match the key — a corrupted or
-/// aliased extent dies rather than serving garbage), and inserts the vector;
-/// eviction drops least-recently-used entries until the budget holds, and
-/// outstanding PpvRef pins keep their vectors alive regardless.
+/// VectorRecord and appends it to one of three per-kind spill segments —
+/// hub partials, skeleton columns, and own vectors each get their own file,
+/// so the tiny skeleton columns a query chain walks cluster into a dense,
+/// prefetch-friendly segment instead of interleaving with multi-KB partials.
+/// Ingest streams the raw wire bytes straight through, so the coordinator
+/// never materializes a machine's index in RAM. Lookups go through a
+/// byte-budgeted read-through LRU residency cache keyed on the vector key. A
+/// cache miss preads the record's extent, re-validates it (header must match
+/// the key — a corrupted or aliased extent dies rather than serving
+/// garbage), and inserts the vector; eviction drops least-recently-used
+/// entries until the budget holds — bulky kinds (partials, own vectors)
+/// first, skeleton columns only when no bulky entry is left, since a
+/// skeleton column is read on every chain walk but costs little to keep —
+/// and outstanding PpvRef pins keep their vectors alive regardless.
+///
+/// A named store (options.spill_path) writes a small text manifest at the
+/// path plus one `<path>.<kind>` segment per kind; PpvStore::OpenSpill reads
+/// the manifest back. A path holding a legacy single-file record stream
+/// (no manifest magic) still opens: all three segment slots alias the one
+/// file, so pre-segment spills stay readable.
 ///
 /// The miss path is singleflighted: concurrent misses of the same vector
 /// coalesce onto one disk read — the first thread loads, the rest wait for
 /// its result instead of each pread-ing the extent (thundering herds on one
 /// hot vector used to multiply the I/O). Followers still count as cache
 /// misses (the lookup was not served from RAM) but charge no disk bytes;
-/// only the loading thread's read is billed.
+/// only the loading thread's read is billed. Prefetch registers its loads in
+/// the same table, so a concurrent Find of a key being prefetched waits for
+/// that read instead of issuing its own.
 ///
-/// Find is thread-safe (cache state under a mutex, disk reads outside it);
-/// writes follow the VectorStorage single-threaded-ingest contract.
+/// Find/FindPair/Prefetch are thread-safe (cache state under a mutex, disk
+/// reads outside it); writes follow the single-threaded-ingest contract.
 class DiskSpillStorage final : public VectorStorage {
  public:
-  /// Fresh store spilling to options.spill_path (kept on disk) or an
-  /// anonymous temp file in options.spill_dir.
+  /// Fresh store spilling to options.spill_path (manifest + named segments
+  /// kept on disk) or anonymous temp segments in options.spill_dir.
   explicit DiskSpillStorage(const StorageOptions& options);
 
-  /// Rebuilds a store from an existing spill file by scanning its records.
-  /// Truncated or corrupted files DPPR_CHECK-fail here, at open. The store
-  /// is read-only: further puts die in SpillFile::Append.
+  /// Rebuilds a store from an existing spill (segment manifest or legacy
+  /// single file) by scanning its records. Truncated or corrupted files
+  /// DPPR_CHECK-fail here, at open. The store is read-only: further puts die
+  /// in SpillFile::Append.
   static std::unique_ptr<DiskSpillStorage> OpenExisting(
       const std::string& path, const StorageOptions& options);
 
@@ -108,26 +125,52 @@ class DiskSpillStorage final : public VectorStorage {
   double Ingest(VectorRecord record) override;
   double IngestFrom(ByteReader& reader) override;
   PpvRef Find(VectorKind kind, SubgraphId sub, NodeId node) const override;
-  /// Shares the spill file with the clone (appends interleave safely; each
-  /// store only indexes its own records) and starts a fresh cache.
+  /// One cache-lock pass resolving both hub vectors when both are resident
+  /// (the steady state behind Prefetch); anything colder falls back to the
+  /// full per-key Find path. Accounting matches two Finds exactly.
+  PpvPair FindPair(SubgraphId sub, NodeId hub) const override;
+  /// Loads the missing extents among `keys` into the residency cache:
+  /// filters out absent / already-cached / in-flight keys and extents larger
+  /// than the whole budget (they could never stay cached — reading them
+  /// twice would only double the I/O), plans at most half the budget of new
+  /// loads per pass (more would evict prefetched records before the fold
+  /// reads them; keys come in fold order, so the kept prefix is what the
+  /// fold needs first), groups the rest by segment, sorts by
+  /// file offset, and issues one coalesced pread per adjacent run. Each
+  /// loaded extent counts as a cache miss + disk bytes (it was read from
+  /// disk), so cold-window stats invariants hold whether the engine
+  /// prefetches or not.
+  void Prefetch(std::span<const uint64_t> keys) const override;
+  /// Shares the spill segments with the clone (appends interleave safely;
+  /// each store only indexes its own records) and starts a fresh cache.
   std::unique_ptr<VectorStorage> Clone() const override;
   size_t num_owned() const override { return extents_.size(); }
   size_t ResidentBytes() const override;
 
   size_t cache_budget_bytes() const { return cache_budget_; }
-  const std::shared_ptr<SpillFile>& spill_file() const { return file_; }
+  const std::shared_ptr<SpillFile>& segment(VectorKind kind) const {
+    return files_[static_cast<uint8_t>(kind)];
+  }
 
  private:
-  DiskSpillStorage(std::shared_ptr<SpillFile> file, size_t cache_budget)
-      : file_(std::move(file)), cache_budget_(cache_budget) {}
+  using SegmentArray = std::array<std::shared_ptr<SpillFile>, kNumVectorKinds>;
+
+  DiskSpillStorage(SegmentArray files, size_t cache_budget)
+      : files_(std::move(files)), cache_budget_(cache_budget) {}
 
   /// Serializes one record from loose parts (seconds included — a reopened
-  /// store inherits the offline ledger), appends it, and indexes the extent
-  /// under its key. Takes the vector by reference so referenced vectors
-  /// spill without an intermediate copy.
+  /// store inherits the offline ledger), appends it to its kind's segment,
+  /// and indexes the extent under its key. Takes the vector by reference so
+  /// referenced vectors spill without an intermediate copy.
   void AppendVector(VectorKind kind, SubgraphId sub, NodeId node, double seconds,
                     const SparseVector& vec, size_t serialized_bytes);
   void IndexExtent(uint64_t key, SpillExtent extent);
+
+  /// The segment holding `key`'s record (derived from the key's kind bits —
+  /// extents never need to remember their file).
+  SpillFile& SegmentFor(uint64_t key) const {
+    return *files_[static_cast<uint8_t>(VectorKindOfKey(key))];
+  }
 
   /// One in-flight load that concurrent misses of the same key rendezvous
   /// on. Lives in inflight_ while the leader reads; followers keep it alive
@@ -149,9 +192,27 @@ class DiskSpillStorage final : public VectorStorage {
   PpvRef Load(uint64_t key, VectorKind kind, SubgraphId sub, NodeId node,
               SpillExtent extent, std::shared_ptr<InFlightLoad> load) const;
 
-  std::shared_ptr<SpillFile> file_;
+  /// Cache-hit lookup under mu_; returns an empty ref on miss without
+  /// touching the singleflight table. Shared by Find/FindPair fast paths.
+  PpvRef CachedLocked(uint64_t key) const;
+
+  /// The LRU list `key`'s cache entry lives on: skeleton columns get their
+  /// own list so eviction can drain the bulky kinds first.
+  std::list<uint64_t>& LruFor(uint64_t key) const {
+    return VectorKindOfKey(key) == VectorKind::kSkeletonColumn ? skeleton_lru_
+                                                               : bulky_lru_;
+  }
+
+  /// Inserts a loaded vector into the cache and evicts past-budget entries —
+  /// bulky LRU first, skeleton LRU only once the bulky list is empty. Caller
+  /// holds mu_.
+  void InsertIntoCacheLocked(uint64_t key, std::shared_ptr<const SparseVector> vec,
+                             size_t bytes) const;
+
+  SegmentArray files_;
   size_t cache_budget_;
-  /// key -> record extent. Written during ingest, read-only while serving.
+  /// key -> record extent (within the key's kind segment). Written during
+  /// ingest, read-only while serving.
   std::unordered_map<uint64_t, SpillExtent> extents_;
 
   struct CacheEntry {
@@ -162,8 +223,10 @@ class DiskSpillStorage final : public VectorStorage {
   };
   mutable std::mutex mu_;
   mutable std::unordered_map<uint64_t, CacheEntry> cache_;
-  /// Front = most recently used.
-  mutable std::list<uint64_t> lru_;
+  /// Front = most recently used. Hub partials + own vectors (the eviction
+  /// victims of first resort) on one list, skeleton columns on the other.
+  mutable std::list<uint64_t> bulky_lru_;
+  mutable std::list<uint64_t> skeleton_lru_;
   mutable size_t resident_bytes_ = 0;
   /// Singleflight table: key -> the load currently reading that extent.
   mutable std::unordered_map<uint64_t, std::shared_ptr<InFlightLoad>> inflight_;

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "dppr/common/macros.h"
@@ -53,6 +54,14 @@ class PpvRef {
 
  private:
   std::shared_ptr<const SparseVector> pin_;
+};
+
+/// The (skeleton column, hub partial) pair the query fold resolves per hub —
+/// one FindPair call instead of two independent Find probes on the same
+/// (sub, hub). Either member may be empty exactly as Find would return it.
+struct PpvPair {
+  PpvRef skeleton;
+  PpvRef partial;
 };
 
 /// The pluggable representations behind PpvStore.
@@ -107,18 +116,38 @@ struct StorageStats {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t disk_bytes_read = 0;
+  /// Prefetch accounting (disk backend; zero elsewhere). `prefetch_issued`
+  /// counts keys a Prefetch call actually started loads for;
+  /// `prefetch_hits` keys that were already resident when examined;
+  /// `prefetch_coalesced_reads` the preads issued after adjacent extents
+  /// were merged; `prefetch_bytes` the bytes those reads pulled in. Prefetch
+  /// loads also count as cache_misses + disk_bytes_read — the extent was
+  /// read from disk — so the cold-window invariants hold with the gate on
+  /// or off.
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_coalesced_reads = 0;
+  uint64_t prefetch_bytes = 0;
 
   StorageStats& operator+=(const StorageStats& other) {
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     disk_bytes_read += other.disk_bytes_read;
+    prefetch_issued += other.prefetch_issued;
+    prefetch_hits += other.prefetch_hits;
+    prefetch_coalesced_reads += other.prefetch_coalesced_reads;
+    prefetch_bytes += other.prefetch_bytes;
     return *this;
   }
   /// Counter delta since `baseline` (ServerStats windows).
   StorageStats Since(const StorageStats& baseline) const {
     return {cache_hits - baseline.cache_hits,
             cache_misses - baseline.cache_misses,
-            disk_bytes_read - baseline.disk_bytes_read};
+            disk_bytes_read - baseline.disk_bytes_read,
+            prefetch_issued - baseline.prefetch_issued,
+            prefetch_hits - baseline.prefetch_hits,
+            prefetch_coalesced_reads - baseline.prefetch_coalesced_reads,
+            prefetch_bytes - baseline.prefetch_bytes};
   }
 };
 
@@ -162,6 +191,26 @@ class VectorStorage {
   /// Empty ref when this machine does not hold the vector.
   virtual PpvRef Find(VectorKind kind, SubgraphId sub, NodeId node) const = 0;
 
+  /// Resolves the (skeleton column, hub partial) pair for one hub. Exactly
+  /// equivalent to two Finds — same results, same hit/miss accounting per
+  /// present member — but backends override it to answer from one probe
+  /// (memory: a paired index; disk: one cache-lock pass for both keys).
+  virtual PpvPair FindPair(SubgraphId sub, NodeId hub) const {
+    return {Find(VectorKind::kSkeletonColumn, sub, hub),
+            Find(VectorKind::kHubPartial, sub, hub)};
+  }
+
+  /// Hint that the packed keys (MakeVectorKey) are about to be looked up.
+  /// Purely advisory: a no-op for the in-memory backends, and the disk
+  /// backend loads the missing extents into its residency cache with reads
+  /// sorted by file offset and coalesced across adjacent records — cold
+  /// misses overlap up front instead of serializing inside the query fold.
+  /// Never changes any Find result; keys not stored here are ignored.
+  /// Thread-safe alongside concurrent Finds (shares their singleflight).
+  virtual void Prefetch(std::span<const uint64_t> keys) const {
+    (void)keys;
+  }
+
   /// Deep copy with the same ledger; residency cache and stats start fresh.
   virtual std::unique_ptr<VectorStorage> Clone() const = 0;
 
@@ -181,7 +230,11 @@ class VectorStorage {
   StorageStats stats() const {
     return {hits_.load(std::memory_order_relaxed),
             misses_.load(std::memory_order_relaxed),
-            disk_bytes_read_.load(std::memory_order_relaxed)};
+            disk_bytes_read_.load(std::memory_order_relaxed),
+            prefetch_issued_.load(std::memory_order_relaxed),
+            prefetch_hits_.load(std::memory_order_relaxed),
+            prefetch_coalesced_reads_.load(std::memory_order_relaxed),
+            prefetch_bytes_.load(std::memory_order_relaxed)};
   }
 
  protected:
@@ -200,6 +253,10 @@ class VectorStorage {
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   mutable std::atomic<uint64_t> disk_bytes_read_{0};
+  mutable std::atomic<uint64_t> prefetch_issued_{0};
+  mutable std::atomic<uint64_t> prefetch_hits_{0};
+  mutable std::atomic<uint64_t> prefetch_coalesced_reads_{0};
+  mutable std::atomic<uint64_t> prefetch_bytes_{0};
 
  private:
   size_t total_bytes_ = 0;

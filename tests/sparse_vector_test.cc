@@ -86,14 +86,14 @@ TEST(DenseAccumulator, AccumulatesAndClears) {
   acc.Add(3, 2.0);
   acc.Add(7, -1.0);
   EXPECT_DOUBLE_EQ(acc.ValueAt(3), 3.0);
-  EXPECT_EQ(acc.touched().size(), 2u);
+  EXPECT_EQ(acc.TouchedIndices(), (std::vector<NodeId>{3, 7}));
 
   SparseVector sparse = acc.ToSparse();
   EXPECT_EQ(sparse.size(), 2u);
 
   acc.Clear();
   EXPECT_DOUBLE_EQ(acc.ValueAt(3), 0.0);
-  EXPECT_TRUE(acc.touched().empty());
+  EXPECT_TRUE(acc.TouchedIndices().empty());
 }
 
 TEST(DenseAccumulator, AddVectorWithScale) {
@@ -203,6 +203,99 @@ TEST(DenseAccumulator, ToSparseCancellationStillListed) {
   // Exact zero after cancellation: excluded from the sparse view.
   SparseVector sparse = acc.ToSparse();
   EXPECT_EQ(sparse.size(), 0u);
+}
+
+TEST(SparseVector, FromSortedUniqueAdoptsEntries) {
+  SparseVector v = SparseVector::FromSortedUnique({{1, 0.5}, {63, -2.0},
+                                                   {64, 3.0}});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.ValueAt(63), -2.0);
+  EXPECT_EQ(v, SparseVector::FromEntries({{64, 3.0}, {1, 0.5}, {63, -2.0}}));
+}
+
+// Scalar reference for the fold kernels: a plain dense array updated with the
+// exact per-entry expression (`dense[i] += scale * value`, in entry order)
+// that the pre-kernel DenseAccumulator used. Every sum below is compared with
+// ==, not near-equality — the bulk AddVector path must be bit-identical.
+struct ScalarFoldOracle {
+  explicit ScalarFoldOracle(size_t size) : dense(size, 0.0) {}
+  void AddVector(const SparseVector& vec, double scale) {
+    for (const auto& e : vec.entries()) dense[e.index] += scale * e.value;
+  }
+  std::vector<double> dense;
+};
+
+TEST(DenseAccumulator, RandomizedFoldBitIdenticalToScalarOracle) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t size = 1 + rng.Uniform(2000);
+    DenseAccumulator acc(size);
+    ScalarFoldOracle oracle(size);
+    const int num_vectors = 1 + static_cast<int>(rng.Uniform(30));
+    for (int v = 0; v < num_vectors; ++v) {
+      std::vector<SparseVector::Entry> entries;
+      const int num_entries = static_cast<int>(rng.Uniform(200));
+      for (int e = 0; e < num_entries; ++e) {
+        entries.push_back({static_cast<NodeId>(rng.Uniform(size)),
+                           rng.NextDouble() - 0.5});
+      }
+      SparseVector vec = SparseVector::FromEntries(std::move(entries));
+      const double scale = rng.NextDouble() * 2.0 - 1.0;
+      acc.AddVector(vec, scale);
+      oracle.AddVector(vec, scale);
+    }
+    // Bit-identical everywhere, including untouched slots.
+    EXPECT_EQ(acc.ToDense(), oracle.dense);
+    // ToSparse agrees with the dense-oracle sparsification at several
+    // thresholds, including 0 (exact-zero exclusion on both sides).
+    for (double prune : {0.0, 1e-9, 0.05}) {
+      EXPECT_EQ(acc.ToSparse(prune),
+                SparseVector::FromDense(oracle.dense, prune));
+    }
+  }
+}
+
+TEST(DenseAccumulator, FoldWithCancellationEdges) {
+  // Entries straddling 64-id bitmap words, plus exact cancellation within and
+  // across vectors: the bitmap keeps every touched slot listed while ToSparse
+  // excludes the exact zeros, matching the dense oracle.
+  DenseAccumulator acc(200);
+  ScalarFoldOracle oracle(200);
+  SparseVector a = SparseVector::FromEntries(
+      {{0, 1.0}, {63, 2.0}, {64, -3.0}, {127, 0.5}, {128, 4.0}, {199, -1.0}});
+  SparseVector b = SparseVector::FromEntries(
+      {{63, -2.0}, {64, 3.0}, {199, 1.0}});
+  acc.AddVector(a, 1.0);
+  acc.AddVector(b, 1.0);
+  oracle.AddVector(a, 1.0);
+  oracle.AddVector(b, 1.0);
+  EXPECT_EQ(acc.ToDense(), oracle.dense);
+  EXPECT_EQ(acc.ToSparse(), SparseVector::FromDense(oracle.dense));
+  // 63, 64, and 199 cancelled to exactly zero but stay touched.
+  EXPECT_EQ(acc.TouchedIndices(),
+            (std::vector<NodeId>{0, 63, 64, 127, 128, 199}));
+  EXPECT_EQ(acc.ToSparse().size(), 3u);
+}
+
+TEST(DenseAccumulator, ClearResetsForReuse) {
+  Rng rng(99);
+  DenseAccumulator acc(500);
+  std::vector<SparseVector::Entry> entries;
+  for (int i = 0; i < 100; ++i) {
+    entries.push_back({static_cast<NodeId>(rng.Uniform(500)),
+                       rng.NextDouble()});
+  }
+  SparseVector vec = SparseVector::FromEntries(std::move(entries));
+  acc.AddVector(vec, 1.5);
+  acc.Clear();
+  EXPECT_TRUE(acc.TouchedIndices().empty());
+  EXPECT_EQ(acc.ToDense(), std::vector<double>(500, 0.0));
+  // A fold after Clear behaves exactly like one on a fresh accumulator.
+  acc.AddVector(vec, -0.5);
+  DenseAccumulator fresh(500);
+  fresh.AddVector(vec, -0.5);
+  EXPECT_EQ(acc.ToDense(), fresh.ToDense());
+  EXPECT_EQ(acc.ToSparse(), fresh.ToSparse());
 }
 
 }  // namespace
