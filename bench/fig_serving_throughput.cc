@@ -61,6 +61,8 @@ Counters MeasureServing(size_t clients, size_t max_batch) {
       {"qps", stats.qps},
       {"p50_ms", stats.p50_latency_ms},
       {"p95_ms", stats.p95_latency_ms},
+      {"p99_ms", stats.p99_latency_ms},
+      {"p999_ms", stats.p999_latency_ms},
       {"mean_batch", stats.mean_batch},
       {"rounds", static_cast<double>(stats.rounds)},
       {"comm_kb_per_query", per_query_kb},

@@ -168,6 +168,54 @@ SimCluster::RoundResult SimCluster::RunRound(const MachineTask& task) const {
   return result;
 }
 
+SimCluster::RoundResult SimCluster::RunRoundOn(std::span<const size_t> machines,
+                                               const MachineTask& task) const {
+  DPPR_CHECK(task != nullptr);
+  DPPR_CHECK_GE(machines.size(), 1u);
+  for (size_t i = 0; i < machines.size(); ++i) {
+    DPPR_CHECK_LT(machines[i], num_machines_);
+    if (i > 0) DPPR_CHECK_LT(machines[i - 1], machines[i]);
+  }
+  const uint64_t round = transport_->AllocateRound(FrameKind::kGather);
+  RoundResult result;
+  result.round_id = round;
+  result.metrics.machine_seconds.assign(num_machines_, 0.0);
+
+  auto run_machine = [&](size_t index) {
+    const size_t machine = machines[index];
+    obs::TraceSpan span(obs::MachineLane(machine), "cluster.machine");
+    span.Arg("round", round);
+    span.Arg("machine", machine);
+    std::vector<uint8_t> payload;
+    result.metrics.machine_seconds[machine] =
+        RunTimed(timer_, [&] { payload = task(machine); });
+    transport_->SendToCoordinator(round, machine, std::move(payload));
+  };
+
+  if (sequential_ || machines.size() == 1) {
+    for (size_t i = 0; i < machines.size(); ++i) run_machine(i);
+  } else {
+    ThreadPool::Default().ParallelFor(machines.size(), run_machine);
+  }
+
+  result.payloads = transport_->GatherRoundPartial(round, machines.size());
+  DPPR_CHECK_EQ(result.payloads.size(), num_machines_);
+  // Only participants' payloads exist; charge them in machine order so
+  // CommStats stays independent of completion order, like the full round.
+  for (size_t machine : machines) {
+    result.metrics.to_coordinator.Record(result.payloads[machine].size());
+  }
+  const ClusterMetrics& metrics = ClusterMetrics::Get();
+  metrics.gather_rounds->Increment();
+  metrics.gather_bytes->Add(result.metrics.to_coordinator.bytes);
+  metrics.gather_messages->Add(result.metrics.to_coordinator.messages);
+  for (size_t machine : machines) {
+    metrics.machine_task_us->Record(static_cast<uint64_t>(
+        result.metrics.machine_seconds[machine] * 1e6));
+  }
+  return result;
+}
+
 SimCluster::RoundResult SimCluster::RunRound(
     const MachineTask& task, const std::function<void(RoundResult&)>& reduce,
     MultiRoundStats* stats) const {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "dppr/dist/ledger.h"
@@ -173,6 +174,16 @@ class SimCluster {
   /// The returned metrics have machine_seconds and to_coordinator filled;
   /// coordinator_seconds is left 0 for the caller's reduce phase.
   RoundResult RunRound(const MachineTask& task) const;
+
+  /// Routed round: runs `task` only on `machines` (sorted, unique, non-empty
+  /// subset of 0..n-1) — the non-participants pay no compute, send nothing,
+  /// and charge no comm. The result keeps full-cluster indexing: payloads
+  /// has num_machines() entries (empty for non-participants) and
+  /// machine_seconds stays n-wide with zeros, so reduce code written against
+  /// RunRound works unchanged. CommStats covers participants only, in
+  /// machine order.
+  RoundResult RunRoundOn(std::span<const size_t> machines,
+                         const MachineTask& task) const;
 
   /// Multi-round convenience: runs one round, times `reduce` as the
   /// coordinator phase (stored into the round's coordinator_seconds), and

@@ -48,6 +48,11 @@ std::vector<std::vector<uint8_t>> InProcessTransport::GatherRound(uint64_t round
   return coordinator_.WaitAll(round);
 }
 
+std::vector<std::vector<uint8_t>> InProcessTransport::GatherRoundPartial(
+    uint64_t round, size_t expected) {
+  return coordinator_.WaitCount(round, expected);
+}
+
 void InProcessTransport::SendToMachine(uint64_t round, size_t src, size_t dst,
                                        std::vector<uint8_t> payload) {
   DPPR_CHECK_LT(src, num_machines());

@@ -389,6 +389,11 @@ std::vector<std::vector<uint8_t>> TcpTransport::GatherRound(uint64_t round) {
   return endpoints_[coordinator_endpoint()]->inbox.WaitAll(round);
 }
 
+std::vector<std::vector<uint8_t>> TcpTransport::GatherRoundPartial(
+    uint64_t round, size_t expected) {
+  return endpoints_[coordinator_endpoint()]->inbox.WaitCount(round, expected);
+}
+
 void TcpTransport::SendToMachine(uint64_t round, size_t src, size_t dst,
                                  std::vector<uint8_t> payload) {
   DPPR_CHECK_LT(src, num_machines());

@@ -64,15 +64,35 @@ void FrameInbox::Push(uint64_t round, size_t src, std::vector<uint8_t> payload) 
   DPPR_CHECK(!slot.present[src]);
   slot.present[src] = 1;
   slot.payloads[src] = std::move(payload);
-  // Exactly one waiter per round, parked on this slot's own cv — completing
-  // one round never wakes the other in-flight rounds' gatherers.
-  if (++slot.arrived == num_sources_) slot.arrived_cv.notify_one();
+  ++slot.arrived;
+  // Once the waiter declared the round's size, a surplus frame is a
+  // non-participant sending into a routed round — hostile, same as a
+  // duplicate (full rounds cap out via the per-source check above).
+  if (slot.expected != 0) {
+    DPPR_CHECK_LE(slot.arrived, slot.expected);
+    // Exactly one waiter per round, parked on this slot's own cv —
+    // completing one round never wakes the other in-flight rounds'
+    // gatherers.
+    if (slot.arrived == slot.expected) slot.arrived_cv.notify_one();
+  }
 }
 
 std::vector<std::vector<uint8_t>> FrameInbox::WaitAll(uint64_t round) {
+  return WaitCount(round, num_sources_);
+}
+
+std::vector<std::vector<uint8_t>> FrameInbox::WaitCount(uint64_t round,
+                                                        size_t expected) {
+  DPPR_CHECK_GE(expected, 1u);
+  DPPR_CHECK_LE(expected, num_sources_);
   std::unique_lock<std::mutex> lock(mu_);
   Slot& slot = SlotFor(round);  // heap-pinned: stable across map churn
-  slot.arrived_cv.wait(lock, [&] { return slot.arrived == num_sources_; });
+  // Declare the round's size so Push knows when to wake us (and can reject
+  // surplus frames). One waiter per round, so a prior declaration is a bug.
+  DPPR_CHECK_EQ(slot.expected, 0u);
+  DPPR_CHECK_LE(slot.arrived, expected);
+  slot.expected = expected;
+  slot.arrived_cv.wait(lock, [&] { return slot.arrived == slot.expected; });
   std::vector<std::vector<uint8_t>> payloads = std::move(slot.payloads);
   rounds_.erase(round);
   // Retire the round. Ids are dense per inbox, so the floor chases the

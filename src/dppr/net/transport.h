@@ -75,11 +75,23 @@ class FrameInbox {
   /// another round's gatherer.
   std::vector<std::vector<uint8_t>> WaitAll(uint64_t round);
 
+  /// Like WaitAll, but the round is complete after `expected` payloads (a
+  /// routed round where only a subset of sources send). The returned vector
+  /// is still indexed by source with num_sources entries — absent sources
+  /// are empty. The waiter is what knows how many senders a round has, so a
+  /// frame count above `expected` (a non-participant sending anyway) is
+  /// hostile and dies in Push once the waiter declared the round's size.
+  std::vector<std::vector<uint8_t>> WaitCount(uint64_t round, size_t expected);
+
  private:
   struct Slot {
     std::vector<std::vector<uint8_t>> payloads;
     std::vector<uint8_t> present;
     size_t arrived = 0;
+    /// How many payloads complete this round; 0 until the waiter arrives
+    /// and declares it (Push cannot know a routed round's participant
+    /// count on its own).
+    size_t expected = 0;
     /// Per-round: only this round's waiter ever sleeps here.
     std::condition_variable arrived_cv;
   };
@@ -153,6 +165,12 @@ class Transport {
   /// Coordinator side: blocks until every machine's payload for `round`
   /// arrived; returns them indexed by machine.
   virtual std::vector<std::vector<uint8_t>> GatherRound(uint64_t round) = 0;
+
+  /// Partial-gather variant for routed rounds: blocks until `expected`
+  /// payloads arrived (only a subset of machines sends), returns them still
+  /// indexed by machine — non-senders' entries are empty.
+  virtual std::vector<std::vector<uint8_t>> GatherRoundPartial(
+      uint64_t round, size_t expected) = 0;
 
   /// Ships one p2p payload from machine `src` to machine `dst`.
   virtual void SendToMachine(uint64_t round, size_t src, size_t dst,

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <cstdio>
 #include <string>
 #include <utility>
 
+#include "dppr/common/env.h"
 #include "dppr/common/macros.h"
 #include "dppr/obs/trace.h"
 
@@ -23,24 +26,71 @@ std::string ServerLabel() {
 
 }  // namespace
 
+ServeOptions ServeOptions::FromEnv() {
+  ServeOptions options;
+  int64_t max_pending = GetEnvInt("DPPR_MAX_PENDING", 0);
+  DPPR_CHECK_GE(max_pending, 0);
+  options.max_pending = static_cast<size_t>(max_pending);
+  std::string admission = GetEnvString("DPPR_ADMISSION", "");
+  if (admission == "shed") {
+    options.shed_on_overload = true;
+  } else if (admission == "block") {
+    options.shed_on_overload = false;
+  } else if (!admission.empty()) {
+    // Same policy as the other knobs: a typo must not silently pick a
+    // different overload behavior than the operator asked for.
+    std::fprintf(stderr, "unknown DPPR_ADMISSION value: %s\n",
+                 admission.c_str());
+    DPPR_CHECK(admission == "shed" || admission == "block");
+  }
+  int64_t cache_bytes = GetEnvInt("DPPR_RESULT_CACHE_BYTES", 0);
+  DPPR_CHECK_GE(cache_bytes, 0);
+  options.result_cache_bytes = static_cast<size_t>(cache_bytes);
+  return options;
+}
+
 QueryServer::QueryServer(HgpaQueryEngine engine, ServeOptions options)
-    : engine_(std::move(engine)), options_(options) {
+    : engine_(std::move(engine)),
+      options_(options),
+      label_(ServerLabel()),
+      cache_(ResultCache::Options{options.result_cache_bytes, 16}, label_) {
   DPPR_CHECK_GE(options_.max_batch, 1u);
   if (options_.thread_cpu_timer) {
     engine_.set_machine_timer(SimCluster::TimerKind::kThreadCpu);
   }
-  const std::string label = ServerLabel();
   auto& registry = obs::MetricsRegistry::Global();
-  series_ = Series{registry.GetCounter("serve.queries" + label),
-                   registry.GetCounter("serve.rounds" + label),
-                   registry.GetCounter("serve.comm_bytes" + label),
-                   registry.GetCounter("serve.comm_messages" + label),
-                   registry.GetHistogram("serve.query_latency_us" + label),
-                   registry.GetHistogram("serve.admission_wait_us" + label),
-                   registry.GetHistogram("serve.batch_size" + label)};
+  series_ = Series{registry.GetCounter("serve.queries" + label_),
+                   registry.GetCounter("serve.rounds" + label_),
+                   registry.GetCounter("serve.comm_bytes" + label_),
+                   registry.GetCounter("serve.comm_messages" + label_),
+                   registry.GetHistogram("serve.query_latency_us" + label_),
+                   registry.GetHistogram("serve.admission_wait_us" + label_),
+                   registry.GetHistogram("serve.batch_size" + label_),
+                   registry.GetCounter("serve.shed" + label_),
+                   registry.GetCounter("serve.routing.machine_rounds" + label_),
+                   registry.GetCounter("serve.routing.bytes_saved" + label_),
+                   registry.GetHistogram("serve.routing.machines_per_query" +
+                                         label_)};
   window_baseline_ = CaptureBaseline();
   storage_baseline_ = engine_.index().StorageStatsTotal();
 }
+
+uint64_t QueryServer::CacheKey(NodeId source) const {
+  // Mix the tolerance bits (and a kind byte, currently always full-PPV) so
+  // entries from servers over differently-pruned indexes can never alias if
+  // the key space is ever shared.
+  uint64_t h = std::bit_cast<uint64_t>(engine_.index().options().ppr.tolerance);
+  h ^= h >> 33;
+  h *= 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 29;
+  return h ^ static_cast<uint64_t>(source);
+}
+
+void QueryServer::Invalidate(NodeId source) {
+  cache_.Invalidate(CacheKey(source));
+}
+
+void QueryServer::InvalidateAll() { cache_.InvalidateAll(); }
 
 QueryServer::Response QueryServer::Query(NodeId node) {
   return Submit({{node, 1.0}});
@@ -53,6 +103,9 @@ QueryServer::Response QueryServer::QueryPreferenceSet(
 
 QueryServer::TopKResponse QueryServer::QueryTopK(NodeId node, size_t k) {
   Response full = Query(node);
+  if (full.shed) {
+    return TopKResponse{{}, full.metrics, full.latency_seconds, true, false};
+  }
   std::vector<SparseVector::Entry> entries(full.ppv.entries().begin(),
                                            full.ppv.entries().end());
   size_t keep = std::min(k, entries.size());
@@ -62,16 +115,54 @@ QueryServer::TopKResponse QueryServer::QueryTopK(NodeId node, size_t k) {
                       return a.index < b.index;
                     });
   entries.resize(keep);
-  return TopKResponse{std::move(entries), full.metrics, full.latency_seconds};
+  return TopKResponse{std::move(entries), full.metrics, full.latency_seconds,
+                      false, full.cache_hit};
 }
 
 QueryServer::Response QueryServer::Submit(std::vector<Preference> preferences) {
+  // Front-door cache: only single-source weight-1.0 requests are cacheable
+  // (preference sets are combinatorial — caching them would thrash the
+  // budget for near-zero reuse). A hit never touches the cluster.
+  const bool cacheable = cache_.enabled() && preferences.size() == 1 &&
+                         preferences[0].weight == 1.0;
+  uint64_t cache_key = 0;
+  if (cacheable) {
+    cache_key = CacheKey(preferences[0].node);
+    WallTimer lookup;
+    if (std::shared_ptr<const SparseVector> hit = cache_.Find(cache_key)) {
+      Response response;
+      response.ppv = *hit;
+      response.cache_hit = true;
+      response.latency_seconds = lookup.ElapsedSeconds();
+      // A hit is a served query: it counts into qps and the latency
+      // histogram (that is the goodput the cache buys), but runs no round.
+      series_.queries->Add(1);
+      series_.latency_us->Record(
+          static_cast<uint64_t>(response.latency_seconds * 1e6));
+      series_.machines_per_query->Record(0);
+      return response;
+    }
+  }
+
   Request request;
   request.preferences = std::move(preferences);
+  request.cacheable = cacheable;
+  request.cache_key = cache_key;
 
   obs::TraceSpan span(obs::kCoordinatorLane, "serve.request");
 
   std::unique_lock<std::mutex> lock(mu_);
+  if (options_.max_pending > 0 && pending_.size() >= options_.max_pending) {
+    if (options_.shed_on_overload) {
+      series_.shed->Increment();
+      Response response;
+      response.shed = true;
+      return response;
+    }
+    // Block policy: wait for the leader to drain the queue below the bound.
+    done_cv_.wait(lock,
+                  [&] { return pending_.size() < options_.max_pending; });
+  }
   request.id = next_request_id_++;
   span.Arg("request", request.id);
   request.admitted.Restart();
@@ -132,6 +223,11 @@ void QueryServer::RunOneBatch(std::unique_lock<std::mutex>& lock) {
     round_span.Arg("first_request", batch.front()->id);
     ppvs = engine_.QueryPreferenceSetMany(queries, &per_query, &round);
   }
+  // Populate the result cache before re-locking: Insert copies the vector
+  // and takes only the shard's own mutex, so waiters aren't held up by it.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i]->cacheable) cache_.Insert(batch[i]->cache_key, ppvs[i]);
+  }
   lock.lock();
 
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -142,11 +238,16 @@ void QueryServer::RunOneBatch(std::unique_lock<std::mutex>& lock) {
     request->done = true;
     series_.latency_us->Record(
         static_cast<uint64_t>(request->latency_seconds * 1e6));
+    series_.machines_per_query->Record(per_query[i].machines_contacted);
   }
   series_.queries->Add(take);
   series_.rounds->Increment();
   series_.comm_bytes->Add(round.comm.bytes);
   series_.comm_messages->Add(round.comm.messages);
+  // Machine-rounds: machines this round actually ran on (the whole cluster
+  // under broadcast; the participant union under routing).
+  series_.routing_machine_rounds->Add(round.machines_contacted);
+  series_.routing_bytes_saved->Add(round.routing_bytes_saved);
   done_cv_.notify_all();
 }
 
@@ -155,7 +256,14 @@ QueryServer::WindowBaseline QueryServer::CaptureBaseline() const {
                         series_.rounds->Value(),
                         series_.comm_bytes->Value(),
                         series_.comm_messages->Value(),
-                        series_.latency_us->TakeSnapshot()};
+                        series_.latency_us->TakeSnapshot(),
+                        series_.shed->Value(),
+                        series_.routing_machine_rounds->Value(),
+                        series_.routing_bytes_saved->Value(),
+                        series_.machines_per_query->TakeSnapshot(),
+                        cache_.hits(),
+                        cache_.misses(),
+                        cache_.evictions()};
 }
 
 ServerStats QueryServer::Stats() const {
@@ -189,6 +297,20 @@ ServerStats QueryServer::Stats() const {
   stats.prefetch_hits = storage.prefetch_hits;
   stats.prefetch_coalesced_reads = storage.prefetch_coalesced_reads;
   stats.prefetch_bytes = storage.prefetch_bytes;
+  stats.shed = series_.shed->Value() - window_baseline_.shed;
+  stats.routing_machine_rounds = series_.routing_machine_rounds->Value() -
+                                 window_baseline_.routing_machine_rounds;
+  stats.routing_bytes_saved = series_.routing_bytes_saved->Value() -
+                              window_baseline_.routing_bytes_saved;
+  stats.machines_per_query_mean = series_.machines_per_query->TakeSnapshot()
+                                      .Since(window_baseline_.machines_per_query)
+                                      .Mean();
+  stats.result_cache_hits = cache_.hits() - window_baseline_.cache_hits;
+  stats.result_cache_misses = cache_.misses() - window_baseline_.cache_misses;
+  stats.result_cache_evictions =
+      cache_.evictions() - window_baseline_.cache_evictions;
+  stats.result_cache_bytes = static_cast<uint64_t>(
+      std::max<int64_t>(cache_.bytes(), 0));
   return stats;
 }
 

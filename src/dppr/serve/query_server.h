@@ -6,11 +6,13 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "dppr/common/timer.h"
 #include "dppr/core/hgpa.h"
 #include "dppr/obs/metrics.h"
+#include "dppr/serve/result_cache.h"
 
 namespace dppr {
 
@@ -24,6 +26,24 @@ struct ServeOptions {
   /// concurrent rounds contending for cores don't inflate each other's
   /// machine_seconds (SimCluster::TimerKind::kThreadCpu).
   bool thread_cpu_timer = true;
+  /// Admission bound: maximum requests waiting in the pending queue. 0 means
+  /// unbounded (the historical behavior). With a bound, an arrival finding
+  /// the queue full is shed (Response::shed, counted in `serve.shed`) or
+  /// blocks until space frees, per shed_on_overload.
+  size_t max_pending = 0;
+  /// Full-queue policy: true sheds (degrade gracefully, keep latency
+  /// bounded), false blocks the caller (backpressure instead of loss).
+  bool shed_on_overload = true;
+  /// Front-door result cache budget in bytes; 0 disables. Cacheable
+  /// requests are single-source weight-1.0 queries (Query / QueryTopK);
+  /// preference sets always recompute.
+  size_t result_cache_bytes = 0;
+
+  /// Env-tunable serving knobs: DPPR_MAX_PENDING (count; 0 unbounded),
+  /// DPPR_ADMISSION ("shed" | "block"; a typo dies), and
+  /// DPPR_RESULT_CACHE_BYTES (bytes; 0 off). max_batch/thread_cpu_timer
+  /// keep their defaults — they are call-site decisions.
+  static ServeOptions FromEnv();
 };
 
 /// Aggregate serving statistics since construction or the last ResetStats().
@@ -69,6 +89,22 @@ struct ServerStats {
   uint64_t prefetch_hits = 0;
   uint64_t prefetch_coalesced_reads = 0;
   uint64_t prefetch_bytes = 0;
+  /// Requests rejected by admission control (queue full under
+  /// ServeOptions::max_pending with shed_on_overload).
+  uint64_t shed = 0;
+  /// Front-door result cache over the window (serve.cache.*; all zero when
+  /// ServeOptions::result_cache_bytes is 0). `result_cache_bytes` is the
+  /// current resident size, not a windowed delta.
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t result_cache_evictions = 0;
+  uint64_t result_cache_bytes = 0;
+  /// Shard routing over the window: mean machines per served query (n under
+  /// broadcast), total machine-rounds (Σ machines contacted), and bytes the
+  /// routed rounds did not ship versus a broadcast fan-out.
+  double machines_per_query_mean = 0.0;
+  uint64_t routing_machine_rounds = 0;
+  uint64_t routing_bytes_saved = 0;
 };
 
 /// Concurrent query front-end over one shared HgpaIndex/HgpaQueryEngine.
@@ -95,8 +131,11 @@ class QueryServer {
   using Preference = HgpaQueryEngine::Preference;
 
   /// Takes the engine by value (an engine is a cheap handle over the shared
-  /// precomputation) and owns it for the server's lifetime.
-  explicit QueryServer(HgpaQueryEngine engine, ServeOptions options = {});
+  /// precomputation) and owns it for the server's lifetime. The default
+  /// options pick up the serving env knobs (DPPR_MAX_PENDING,
+  /// DPPR_ADMISSION, DPPR_RESULT_CACHE_BYTES).
+  explicit QueryServer(HgpaQueryEngine engine,
+                       ServeOptions options = ServeOptions::FromEnv());
 
   QueryServer(const QueryServer&) = delete;
   QueryServer& operator=(const QueryServer&) = delete;
@@ -108,6 +147,12 @@ class QueryServer {
     QueryMetrics metrics;
     /// Admission to completion (includes queueing + batching delay).
     double latency_seconds = 0.0;
+    /// Rejected by admission control: ppv is empty and no round ran. Callers
+    /// are expected to retry with backoff.
+    bool shed = false;
+    /// Served from the front-door result cache: no round ran, metrics.comm
+    /// is zero.
+    bool cache_hit = false;
   };
 
   /// Single-node PPV.
@@ -122,11 +167,19 @@ class QueryServer {
     std::vector<SparseVector::Entry> top;
     QueryMetrics metrics;
     double latency_seconds = 0.0;
+    bool shed = false;
+    bool cache_hit = false;
   };
 
   /// Top-k nodes of `node`'s PPV (k = 0 returns the full ranking header,
   /// i.e. an empty list).
   TopKResponse QueryTopK(NodeId node, size_t k);
+
+  /// Drops `source`'s cached result so the next query recomputes — the hook
+  /// the incremental-refresh path calls when an update touches a source's
+  /// PPV. No-ops when the cache is disabled.
+  void Invalidate(NodeId source);
+  void InvalidateAll();
 
   /// Snapshot of the aggregate stats; safe to call while serving.
   ServerStats Stats() const;
@@ -145,6 +198,10 @@ class QueryServer {
     /// Server-unique request id; trace spans carry it so a request's wait,
     /// round, and completion line up in the timeline.
     uint64_t id = 0;
+    /// Insert the result into the result cache under cache_key when done
+    /// (single-source weight-1.0 queries with the cache enabled).
+    bool cacheable = false;
+    uint64_t cache_key = 0;
     WallTimer admitted;
   };
 
@@ -158,6 +215,10 @@ class QueryServer {
     obs::Histogram* latency_us;
     obs::Histogram* admission_wait_us;
     obs::Histogram* batch_size;
+    obs::Counter* shed;
+    obs::Counter* routing_machine_rounds;
+    obs::Counter* routing_bytes_saved;
+    obs::Histogram* machines_per_query;
   };
 
   /// Registry values at the start of the stats window; Stats() reports
@@ -168,7 +229,19 @@ class QueryServer {
     uint64_t comm_bytes = 0;
     uint64_t comm_messages = 0;
     obs::Histogram::Snapshot latency;
+    uint64_t shed = 0;
+    uint64_t routing_machine_rounds = 0;
+    uint64_t routing_bytes_saved = 0;
+    obs::Histogram::Snapshot machines_per_query;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t cache_evictions = 0;
   };
+
+  /// Cache key for a single-source full-PPV query: the source mixed with
+  /// the index's prune tolerance and the query kind, so a future
+  /// multi-tolerance server never collides entries.
+  uint64_t CacheKey(NodeId source) const;
 
   Response Submit(std::vector<Preference> preferences);
   /// Leader: takes up to max_batch requests off the queue, runs one cluster
@@ -179,6 +252,10 @@ class QueryServer {
 
   HgpaQueryEngine engine_;
   ServeOptions options_;
+  /// Registry label suffix of this server (`{server="N"}`); declared before
+  /// cache_, which registers its series under it.
+  std::string label_;
+  ResultCache cache_;
   Series series_;
 
   mutable std::mutex mu_;

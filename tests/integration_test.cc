@@ -57,8 +57,10 @@ TEST(Integration, MachineSweepKeepsCommBoundedAndBalanced) {
     HgpaQueryEngine engine(index);
     QueryMetrics metrics;
     engine.Query(1, &metrics);
-    // Theorem 4: one message per machine, bounded by O(n|V|).
-    EXPECT_EQ(metrics.comm.messages, machines);
+    // Theorem 4: at most one message per machine (routing may skip
+    // non-contributing machines), bounded by O(n|V|).
+    EXPECT_GE(metrics.comm.messages, 1u);
+    EXPECT_LE(metrics.comm.messages, machines);
     EXPECT_LT(metrics.comm.bytes, machines * g.num_nodes() * 16);
 
     // Storage drops (or at worst stays) as machines are added.
