@@ -15,7 +15,9 @@
 // in-process hand-off: same answers, same coordinator bytes, real kernel
 // crossings. ./build/fig_transport_overhead measures the difference.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -23,11 +25,13 @@
 #include "dppr/common/rng.h"
 #include "dppr/graph/datasets.h"
 #include "dppr/net/transport.h"
+#include "dppr/obs/admin_http.h"
 #include "dppr/serve/query_server.h"
 
 int main(int argc, char** argv) {
   using namespace dppr;
   bool disk = false;
+  long linger_seconds = 0;
   TransportOptions transport = TransportOptions::FromEnv();
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--disk") == 0) {
@@ -36,9 +40,15 @@ int main(int argc, char** argv) {
       transport.backend = TransportBackend::kTcp;
     } else if (std::strcmp(argv[i], "--transport=inproc") == 0) {
       transport.backend = TransportBackend::kInProcess;
+    } else if (std::strncmp(argv[i], "--linger=", 9) == 0) {
+      // Keep the process (and its admin plane) alive after the tour, so
+      // curl / Prometheus can scrape a quiesced server (CI smoke does).
+      linger_seconds = std::strtol(argv[i] + 9, nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--disk] [--transport=inproc|tcp]\n", argv[0]);
+                   "usage: %s [--disk] [--transport=inproc|tcp]"
+                   " [--linger=SECONDS]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -65,6 +75,15 @@ int main(int argc, char** argv) {
 
   QueryServer server(HgpaQueryEngine(HgpaIndex::Distribute(pre, 6, storage),
                                      NetworkModel{}, transport));
+
+  // DPPR_ADMIN_PORT=<port> starts the admin plane; /statusz gets this
+  // server's placement / serving / slow-query section.
+  if (obs::AdminHttpServer* admin = obs::AdminHttpServer::GlobalFromEnv()) {
+    admin->HandleStatus("server", [&server] { return server.StatusJson(); });
+    std::printf("admin plane on http://127.0.0.1:%u (/metrics /healthz "
+                "/statusz)\n",
+                admin->port());
+  }
 
   Rng rng(7);
   constexpr size_t kQueriesPerClient = 50;
@@ -118,6 +137,13 @@ int main(int argc, char** argv) {
   std::printf("top-5 for node 0:\n");
   for (const auto& entry : top.top) {
     std::printf("  node %-6u score %.6f\n", entry.index, entry.value);
+  }
+
+  if (linger_seconds > 0) {
+    std::printf("\nlingering %lds for admin-plane scrapes...\n",
+                linger_seconds);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(linger_seconds));
   }
   return 0;
 }

@@ -426,6 +426,10 @@ std::vector<SparseVector> HgpaQueryEngine::RunDistributed(
   shared.simulated_seconds = round.metrics.SimulatedSeconds(cluster_.network());
   shared.comm = round.metrics.to_coordinator;
   shared.machines_contacted = index_.num_machines();
+  shared.round_id = round.round_id;
+  shared.machine_seconds = round.metrics.machine_seconds;
+  shared.machines.resize(index_.num_machines());
+  for (size_t m = 0; m < shared.machines.size(); ++m) shared.machines[m] = m;
   if (round_metrics != nullptr) *round_metrics = shared;
   if (per_query_metrics != nullptr) {
     per_query_metrics->assign(num_queries, shared);
@@ -522,7 +526,10 @@ std::vector<SparseVector> HgpaQueryEngine::RunRouted(
     shared.simulated_seconds =
         round.metrics.SimulatedSeconds(cluster_.network());
     shared.comm = round.metrics.to_coordinator;
+    shared.round_id = round.round_id;
+    shared.machine_seconds = round.metrics.machine_seconds;
   }
+  shared.machines = participants;
   shared.machines_contacted = participants.size();
   for (const QueryRouter::Plan& plan : plans) {
     shared.routing_bytes_saved +=
@@ -534,6 +541,7 @@ std::vector<SparseVector> HgpaQueryEngine::RunRouted(
     for (size_t q = 0; q < num_queries; ++q) {
       QueryMetrics& m = (*per_query_metrics)[q];
       m.comm = per_query_comm[q];
+      m.machines = plans[q].machines;
       m.machines_contacted = plans[q].machines.size();
       m.routing_bytes_saved =
           (num_machines - plans[q].contributors) * empty_fragment_bytes;

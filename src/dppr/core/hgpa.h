@@ -162,6 +162,16 @@ struct QueryMetrics {
   /// fragment per non-contributing machine that a full fan-out would have
   /// gathered anyway. Zero under broadcast.
   uint64_t routing_bytes_saved = 0;
+  /// Transport round id of the communication round that answered this query
+  /// (shared by every query in a batch; 0 when no round ran).
+  uint64_t round_id = 0;
+  /// The machines that ran, ascending (all of them under broadcast; the
+  /// routed union for a batch, this query's own plan in per-query metrics).
+  /// Empty when no round ran.
+  std::vector<size_t> machines;
+  /// Full-cluster-width measured per-machine compute seconds for the round
+  /// (zeros for machines that did not participate). Empty when no round ran.
+  std::vector<double> machine_seconds;
 
   /// Compute-only runtime (machines overlap their sends in a real cluster,
   /// and the paper observes network transfer does not dominate; Appendix B).

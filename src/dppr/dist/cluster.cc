@@ -125,7 +125,12 @@ SimCluster::RoundResult SimCluster::RunRound(const MachineTask& task) const {
   result.round_id = round;
   result.metrics.machine_seconds.assign(num_machines_, 0.0);
 
+  // Machine tasks run on pool threads; re-establish the caller's (query's)
+  // trace context there so machine/store/net spans and outgoing frame
+  // headers stay attributed to the query that triggered the round.
+  const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
   auto run_machine = [&](size_t machine) {
+    obs::TraceContextScope ctx_scope(trace_ctx);
     // One span per machine superstep, on the machine's own timeline lane:
     // covers compute and the send, so gaps between spans are queueing.
     obs::TraceSpan span(obs::MachineLane(machine), "cluster.machine");
@@ -181,7 +186,9 @@ SimCluster::RoundResult SimCluster::RunRoundOn(std::span<const size_t> machines,
   result.round_id = round;
   result.metrics.machine_seconds.assign(num_machines_, 0.0);
 
+  const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
   auto run_machine = [&](size_t index) {
+    obs::TraceContextScope ctx_scope(trace_ctx);
     const size_t machine = machines[index];
     obs::TraceSpan span(obs::MachineLane(machine), "cluster.machine");
     span.Arg("round", round);
@@ -241,7 +248,9 @@ SimCluster::ExchangeResult SimCluster::RunExchange(const ExchangeTask& task) con
   result.round_id = round;
   result.metrics.machine_seconds.assign(num_machines_, 0.0);
 
+  const obs::TraceContext trace_ctx = obs::CurrentTraceContext();
   auto run_machine = [&](size_t machine) {
+    obs::TraceContextScope ctx_scope(trace_ctx);
     obs::TraceSpan span(obs::MachineLane(machine), "cluster.exchange.machine");
     span.Arg("round", round);
     span.Arg("machine", machine);

@@ -45,8 +45,9 @@ inline constexpr uint64_t kMaxFramePayloadBytes = uint64_t{1} << 30;
 /// "DPRF" in little-endian byte order.
 inline constexpr uint32_t kFrameMagic = 0x46525044u;
 
-/// magic u32 | kind u8 | src u32 | dst u32 | round u64 | length u64 | checksum u64.
-inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4 + 4 + 8 + 8 + 8;
+/// magic u32 | kind u8 | src u32 | dst u32 | round u64 | trace u64 |
+/// span u64 | length u64 | checksum u64.
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4 + 4 + 8 + 8 + 8 + 8 + 8;
 
 struct FrameHeader {
   FrameKind kind = FrameKind::kGather;
@@ -56,6 +57,12 @@ struct FrameHeader {
   uint32_t dst = kCoordinatorDst;
   /// Transport round the payload belongs to (Transport::AllocateRound).
   uint64_t round = 0;
+  /// Originating query's trace context (obs::TraceContext; 0 = untraced).
+  /// Stamped from the sending thread's context by MakeFrameHeader, so every
+  /// byte on the wire is attributable to the query that caused it even once
+  /// machines live in separate processes.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
   uint64_t payload_bytes = 0;
   /// FrameChecksum over the payload bytes.
   uint64_t checksum = 0;

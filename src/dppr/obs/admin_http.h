@@ -1,0 +1,87 @@
+#ifndef DPPR_OBS_ADMIN_HTTP_H_
+#define DPPR_OBS_ADMIN_HTTP_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dppr::obs {
+
+/// Minimal embedded HTTP admin plane: a loopback-only listener serving the
+/// process's live observability surfaces to curl / Prometheus:
+///
+///   /metrics  Prometheus exposition text (MetricsRegistry::RenderText)
+///   /healthz  "ok\n" liveness probe
+///   /statusz  one JSON object composed from registered status sections
+///   /         plain-text index of the routes above
+///
+/// Deliberately not a web server: GET only, one short-lived connection at a
+/// time, bounded request size, loopback bind. That is the right shape for an
+/// admin plane — the heavy lifting (rendering) reuses the observability
+/// layer, and the socket handling follows the same poll-loop + self-pipe
+/// shutdown pattern as TcpTransport's receive loop. Serving threads are
+/// never blocked: handlers read atomics/snapshots.
+///
+/// Enable process-wide with DPPR_ADMIN_PORT=<port> (GlobalFromEnv), or embed
+/// one directly (tests use port 0 for an ephemeral port).
+class AdminHttpServer {
+ public:
+  using Handler = std::function<std::string()>;
+
+  /// The process-wide server: started on first call iff DPPR_ADMIN_PORT is
+  /// set (0 picks an ephemeral port, printed by callers that care), else
+  /// null. Lives for the process lifetime.
+  static AdminHttpServer* GlobalFromEnv();
+
+  AdminHttpServer();
+  /// Stops the listener and joins the serving thread.
+  ~AdminHttpServer();
+  AdminHttpServer(const AdminHttpServer&) = delete;
+  AdminHttpServer& operator=(const AdminHttpServer&) = delete;
+
+  /// Registers `fn` to answer GET `path` (exact match) with `content_type`.
+  /// Replaces any previous handler for the path. Callable before or after
+  /// Start; `fn` runs on the serving thread and must be thread-safe.
+  void Handle(std::string path, std::string content_type, Handler fn);
+
+  /// Registers a named section of /statusz; `fn` must return one JSON value
+  /// (object, array, or scalar). Sections render in registration order as
+  /// {"<section>":<value>,...}.
+  void HandleStatus(std::string section, Handler fn);
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the serving thread.
+  /// DPPR_CHECK-fails if the bind fails — an operator who asked for an admin
+  /// plane must not silently run without one.
+  void Start(uint16_t port);
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+  bool running() const { return thread_.joinable(); }
+  /// The bound port (the chosen one when Start was given 0).
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+  std::string Dispatch(const std::string& path, std::string& content_type);
+
+  mutable std::mutex mu_;
+  /// path -> (content type, handler).
+  std::vector<std::pair<std::string, std::pair<std::string, Handler>>>
+      handlers_;
+  /// section name -> JSON-producing handler, in registration order.
+  std::vector<std::pair<std::string, Handler>> status_sections_;
+
+  int listen_fd_ = -1;
+  int stop_fds_[2] = {-1, -1};
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace dppr::obs
+
+#endif  // DPPR_OBS_ADMIN_HTTP_H_

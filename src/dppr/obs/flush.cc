@@ -1,0 +1,34 @@
+#include "dppr/obs/flush.h"
+
+#include <csignal>
+#include <string>
+
+#include "dppr/common/env.h"
+#include "dppr/obs/metrics.h"
+#include "dppr/obs/trace.h"
+
+namespace dppr::obs {
+namespace {
+
+void FlushAndReraise(int sig) {
+  Tracer::Global().Flush();
+  const std::string dump = GetEnvString("DPPR_METRICS_DUMP", "");
+  if (!dump.empty()) MetricsRegistry::Global().WriteFile(dump);
+  // Die with the conventional "killed by signal" status so shells, CI, and
+  // supervisors still see an interrupted run as interrupted.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void InstallSignalFlushOnce() {
+  static const bool installed = [] {
+    std::signal(SIGINT, FlushAndReraise);
+    std::signal(SIGTERM, FlushAndReraise);
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace dppr::obs

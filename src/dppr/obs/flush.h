@@ -1,0 +1,23 @@
+#ifndef DPPR_OBS_FLUSH_H_
+#define DPPR_OBS_FLUSH_H_
+
+namespace dppr::obs {
+
+/// Installs SIGINT/SIGTERM handlers (once per process; later calls no-op)
+/// that flush the global trace file and the DPPR_METRICS_DUMP snapshot, then
+/// restore the default disposition and re-raise — so an interrupted bench or
+/// demo run still leaves usable dumps, and the process still dies with the
+/// conventional signal exit status.
+///
+/// The handler deliberately calls non-async-signal-safe code (malloc, stdio):
+/// this is a best-effort developer convenience for interactive interrupts of
+/// otherwise-idle processes, not a crash-safety mechanism. A signal landing
+/// mid-allocation can deadlock the handler; the default disposition would
+/// have lost the dumps anyway. Installed automatically by Tracer::Global()
+/// (when DPPR_TRACE is set) and MetricsRegistry::Global() (when
+/// DPPR_METRICS_DUMP is set).
+void InstallSignalFlushOnce();
+
+}  // namespace dppr::obs
+
+#endif  // DPPR_OBS_FLUSH_H_

@@ -8,6 +8,7 @@
 
 #include "dppr/common/env.h"
 #include "dppr/common/macros.h"
+#include "dppr/obs/flush.h"
 
 namespace dppr::obs {
 
@@ -104,6 +105,8 @@ MetricsRegistry& MetricsRegistry::Global() {
         MetricsRegistry::Global().WriteFile(
             GetEnvString("DPPR_METRICS_DUMP", ""));
       });
+      // Ctrl-C'd runs keep their dump too.
+      InstallSignalFlushOnce();
     }
     return r;
   }();

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "dppr/common/env.h"
+#include "dppr/obs/flush.h"
+#include "dppr/obs/metrics.h"
 
 namespace dppr::obs {
 namespace {
@@ -20,7 +22,31 @@ uint32_t CurrentTraceTid() {
   return tid;
 }
 
+/// The calling thread's current query context; {0,0} outside any scope.
+thread_local TraceContext g_trace_context;
+
 }  // namespace
+
+TraceContext CurrentTraceContext() { return g_trace_context; }
+
+uint64_t NewTraceId() {
+  // splitmix64 over a process counter: unique, nonzero, and visually
+  // distinct from small sequential request ids in dumps. No wall clock or
+  // global RNG involved, so traces stay deterministic to correlate.
+  static std::atomic<uint64_t> next{1};
+  uint64_t x = next.fetch_add(1, std::memory_order_relaxed);
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+TraceContextScope::TraceContextScope(TraceContext ctx) : prev_(g_trace_context) {
+  g_trace_context = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { g_trace_context = prev_; }
 
 Tracer::Tracer(bool enabled, std::string path)
     : enabled_(enabled),
@@ -33,6 +59,9 @@ Tracer& Tracer::Global() {
     auto* t = new Tracer(/*enabled=*/!path.empty(), path);
     if (!path.empty()) {
       std::atexit([] { Tracer::Global().Flush(); });
+      // An interrupted run (Ctrl-C on a demo, a killed bench) still gets a
+      // usable trace file.
+      InstallSignalFlushOnce();
     }
     return t;
   }();
@@ -42,15 +71,27 @@ Tracer& Tracer::Global() {
 void Tracer::RecordComplete(const char* name, double ts_us, double dur_us,
                             uint32_t pid,
                             const std::array<Arg, kMaxArgs>& args) {
+  RecordComplete(name, ts_us, dur_us, pid, args, CurrentTraceContext());
+}
+
+void Tracer::RecordComplete(const char* name, double ts_us, double dur_us,
+                            uint32_t pid, const std::array<Arg, kMaxArgs>& args,
+                            TraceContext ctx) {
   if (!enabled()) return;
   const uint32_t tid = CurrentTraceTid();
   Shard& shard = shards_[tid % kShards];
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.events.size() >= kMaxEventsPerShard) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    // Surfaced in /metrics too: silent truncation at the end of a long soak
+    // otherwise only shows in the trace file footer nobody reads.
+    static Counter* dropped_counter =
+        MetricsRegistry::Global().GetCounter("trace.dropped");
+    dropped_counter->Increment();
     return;
   }
-  shard.events.push_back(Event{name, ts_us, dur_us, pid, tid, args});
+  shard.events.push_back(Event{name, ts_us, dur_us, pid, tid, ctx.trace_id,
+                               args});
 }
 
 size_t Tracer::event_count() const {
@@ -107,6 +148,14 @@ std::string Tracer::RenderJson() const {
     out += buf;
     first = false;
     bool has_args = false;
+    if (e.trace_id != 0) {
+      // The query context rides as a regular arg so any trace consumer (the
+      // viewer's search box, the in-test parser) can join spans by trace id.
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"trace\":%llu",
+                    static_cast<unsigned long long>(e.trace_id));
+      out += buf;
+      has_args = true;
+    }
     for (const Arg& arg : e.args) {
       if (arg.key == nullptr) continue;
       std::snprintf(buf, sizeof(buf), "%s\"%s\":%llu",

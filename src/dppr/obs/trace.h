@@ -21,6 +21,38 @@ inline uint32_t MachineLane(size_t machine) {
   return static_cast<uint32_t>(machine) + 1;
 }
 
+/// Query-scoped trace identity, propagated thread-locally (and stamped into
+/// every frame header on the wire). The serving front-end mints one per
+/// request; SimCluster re-establishes the caller's context inside each
+/// machine task, so cluster/store/net spans on every contributing machine
+/// carry the originating query's trace id. trace_id == 0 means "no context"
+/// (offline runs, untraced work).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  explicit operator bool() const { return trace_id != 0; }
+};
+
+/// The calling thread's current context ({0,0} when none is in scope).
+TraceContext CurrentTraceContext();
+
+/// Process-unique nonzero id (mixed so ids don't collide visually with
+/// request counters). Used for both trace and span ids.
+uint64_t NewTraceId();
+
+/// RAII: installs `ctx` as the calling thread's context, restoring the
+/// previous one on destruction. Cheap enough for per-machine-task use.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
 /// Collects Chrome trace-event / Perfetto-compatible complete ("X") events
 /// and renders them as trace JSON. The global tracer is enabled iff
 /// DPPR_TRACE=<path> is set when it is first touched; the trace is written
@@ -65,11 +97,18 @@ class Tracer {
         .count();
   }
 
-  /// Records one complete event on the calling thread's lane. `name` must be
-  /// a string literal. Also the escape hatch for spans whose start time is
-  /// only known after the fact (admission waits measured at batch pop).
+  /// Records one complete event on the calling thread's lane, tagged with
+  /// the calling thread's CurrentTraceContext(). `name` must be a string
+  /// literal. Also the escape hatch for spans whose start time is only known
+  /// after the fact (admission waits measured at batch pop).
   void RecordComplete(const char* name, double ts_us, double dur_us,
                       uint32_t pid, const std::array<Arg, kMaxArgs>& args);
+
+  /// Same, with an explicit context (for events recorded on behalf of
+  /// another request, e.g. per-request waits logged by the batch leader).
+  void RecordComplete(const char* name, double ts_us, double dur_us,
+                      uint32_t pid, const std::array<Arg, kMaxArgs>& args,
+                      TraceContext ctx);
 
   size_t event_count() const;
   uint64_t dropped_events() const {
@@ -91,6 +130,10 @@ class Tracer {
     double dur_us;
     uint32_t pid;
     uint32_t tid;
+    /// Originating query's trace id (0 = untraced work). Rendered as a
+    /// "trace" arg so the viewer and the in-test parser can join spans to
+    /// QueryProfiles; kept out of args so spans keep all kMaxArgs slots.
+    uint64_t trace_id;
     std::array<Arg, kMaxArgs> args;
   };
   struct Shard {
@@ -99,8 +142,9 @@ class Tracer {
   };
 
   static constexpr size_t kShards = 16;
-  /// ~4M events across shards (~70 bytes/event -> ~300 MB worst case); long
-  /// soak runs truncate instead of eating the machine.
+  /// ~4M events across shards (~80 bytes/event -> ~330 MB worst case); long
+  /// soak runs truncate instead of eating the machine (drops are counted
+  /// here and in the `trace.dropped` registry counter).
   static constexpr size_t kMaxEventsPerShard = (4u << 20) / kShards;
 
   std::atomic<bool> enabled_;
@@ -128,6 +172,7 @@ class TraceSpan {
     tracer_ = &tracer;
     name_ = name;
     pid_ = pid;
+    ctx_ = CurrentTraceContext();
     start_us_ = tracer.NowMicros();
   }
 
@@ -144,13 +189,15 @@ class TraceSpan {
   ~TraceSpan() {
     if (tracer_ == nullptr) return;
     const double end_us = tracer_->NowMicros();
-    tracer_->RecordComplete(name_, start_us_, end_us - start_us_, pid_, args_);
+    tracer_->RecordComplete(name_, start_us_, end_us - start_us_, pid_, args_,
+                            ctx_);
   }
 
  private:
   Tracer* tracer_ = nullptr;
   const char* name_ = nullptr;
   uint32_t pid_ = 0;
+  TraceContext ctx_;
   double start_us_ = 0.0;
   std::array<Tracer::Arg, Tracer::kMaxArgs> args_{};
   size_t num_args_ = 0;

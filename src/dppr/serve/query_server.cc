@@ -46,6 +46,8 @@ ServeOptions ServeOptions::FromEnv() {
   int64_t cache_bytes = GetEnvInt("DPPR_RESULT_CACHE_BYTES", 0);
   DPPR_CHECK_GE(cache_bytes, 0);
   options.result_cache_bytes = static_cast<size_t>(cache_bytes);
+  options.slow_query_us = GetEnvInt("DPPR_SLOW_QUERY_US", -1);
+  options.slow_query_log_path = GetEnvString("DPPR_SLOW_QUERY_LOG", "");
   return options;
 }
 
@@ -53,7 +55,9 @@ QueryServer::QueryServer(HgpaQueryEngine engine, ServeOptions options)
     : engine_(std::move(engine)),
       options_(options),
       label_(ServerLabel()),
-      cache_(ResultCache::Options{options.result_cache_bytes, 16}, label_) {
+      cache_(ResultCache::Options{options.result_cache_bytes, 16}, label_),
+      profiles_(ProfileLog::Options{options.slow_query_us,
+                                    options.slow_query_log_path, 64, 32}) {
   DPPR_CHECK_GE(options_.max_batch, 1u);
   if (options_.thread_cpu_timer) {
     engine_.set_machine_timer(SimCluster::TimerKind::kThreadCpu);
@@ -104,7 +108,8 @@ QueryServer::Response QueryServer::QueryPreferenceSet(
 QueryServer::TopKResponse QueryServer::QueryTopK(NodeId node, size_t k) {
   Response full = Query(node);
   if (full.shed) {
-    return TopKResponse{{}, full.metrics, full.latency_seconds, true, false};
+    return TopKResponse{{},   full.metrics, full.latency_seconds,
+                        true, false,        full.trace_id};
   }
   std::vector<SparseVector::Entry> entries(full.ppv.entries().begin(),
                                            full.ppv.entries().end());
@@ -115,31 +120,50 @@ QueryServer::TopKResponse QueryServer::QueryTopK(NodeId node, size_t k) {
                       return a.index < b.index;
                     });
   entries.resize(keep);
-  return TopKResponse{std::move(entries), full.metrics, full.latency_seconds,
-                      false, full.cache_hit};
+  return TopKResponse{std::move(entries), full.metrics,   full.latency_seconds,
+                      false,              full.cache_hit, full.trace_id};
 }
 
 QueryServer::Response QueryServer::Submit(std::vector<Preference> preferences) {
+  // Every request gets a fresh trace identity at the front door; the scope
+  // makes it the calling thread's context, so the serve.request span — and,
+  // via SimCluster's context re-establishment, every machine/store/net span
+  // and frame header this request causes — carries its trace id.
+  const obs::TraceContext trace{obs::NewTraceId(), obs::NewTraceId()};
+  obs::TraceContextScope trace_scope(trace);
+  // Single-source weight-1.0 identity, for the cache and the profile.
+  const NodeId source = preferences.size() == 1 && preferences[0].weight == 1.0
+                            ? preferences[0].node
+                            : kInvalidNode;
+  const size_t num_preferences = preferences.size();
+
   // Front-door cache: only single-source weight-1.0 requests are cacheable
   // (preference sets are combinatorial — caching them would thrash the
   // budget for near-zero reuse). A hit never touches the cluster.
-  const bool cacheable = cache_.enabled() && preferences.size() == 1 &&
-                         preferences[0].weight == 1.0;
+  const bool cacheable = cache_.enabled() && source != kInvalidNode;
   uint64_t cache_key = 0;
   if (cacheable) {
-    cache_key = CacheKey(preferences[0].node);
+    cache_key = CacheKey(source);
     WallTimer lookup;
     if (std::shared_ptr<const SparseVector> hit = cache_.Find(cache_key)) {
       Response response;
       response.ppv = *hit;
       response.cache_hit = true;
       response.latency_seconds = lookup.ElapsedSeconds();
+      response.trace_id = trace.trace_id;
       // A hit is a served query: it counts into qps and the latency
       // histogram (that is the goodput the cache buys), but runs no round.
       series_.queries->Add(1);
       series_.latency_us->Record(
           static_cast<uint64_t>(response.latency_seconds * 1e6));
       series_.machines_per_query->Record(0);
+      QueryProfile profile;
+      profile.trace_id = trace.trace_id;
+      profile.outcome = QueryProfile::Outcome::kCacheHit;
+      profile.source = source;
+      profile.num_preferences = num_preferences;
+      profile.latency_seconds = response.latency_seconds;
+      profiles_.Observe(profile);
       return response;
     }
   }
@@ -148,6 +172,7 @@ QueryServer::Response QueryServer::Submit(std::vector<Preference> preferences) {
   request.preferences = std::move(preferences);
   request.cacheable = cacheable;
   request.cache_key = cache_key;
+  request.trace = trace;
 
   obs::TraceSpan span(obs::kCoordinatorLane, "serve.request");
 
@@ -157,6 +182,14 @@ QueryServer::Response QueryServer::Submit(std::vector<Preference> preferences) {
       series_.shed->Increment();
       Response response;
       response.shed = true;
+      response.trace_id = trace.trace_id;
+      QueryProfile profile;
+      profile.trace_id = trace.trace_id;
+      profile.outcome = QueryProfile::Outcome::kShed;
+      profile.source = source;
+      profile.num_preferences = num_preferences;
+      lock.unlock();  // Observe may touch the log sink; don't hold mu_
+      profiles_.Observe(profile);
       return response;
     }
     // Block policy: wait for the leader to drain the queue below the bound.
@@ -182,8 +215,12 @@ QueryServer::Response QueryServer::Submit(std::vector<Preference> preferences) {
       done_cv_.wait(lock, [&] { return request.done || !leader_active_; });
     }
   }
-  return Response{std::move(request.result), request.metrics,
-                  request.latency_seconds};
+  Response response;
+  response.ppv = std::move(request.result);
+  response.metrics = request.metrics;
+  response.latency_seconds = request.latency_seconds;
+  response.trace_id = trace.trace_id;
+  return response;
 }
 
 void QueryServer::RunOneBatch(std::unique_lock<std::mutex>& lock) {
@@ -197,17 +234,35 @@ void QueryServer::RunOneBatch(std::unique_lock<std::mutex>& lock) {
   obs::Tracer& tracer = obs::Tracer::Global();
   std::vector<std::vector<Preference>> queries;
   queries.reserve(take);
-  for (Request* request : batch) {
+  // Profile skeletons: request identity must be copied out before the
+  // preferences move below (and before waiters can wake and destroy their
+  // stack-allocated Requests).
+  std::vector<QueryProfile> profiles(take);
+  for (size_t i = 0; i < take; ++i) {
+    Request* request = batch[i];
     // Admission wait ends here: the request leaves the queue for a round.
-    const double wait_seconds = request->admitted.ElapsedSeconds();
+    request->wait_seconds = request->admitted.ElapsedSeconds();
     series_.admission_wait_us->Record(
-        static_cast<uint64_t>(wait_seconds * 1e6));
+        static_cast<uint64_t>(request->wait_seconds * 1e6));
     if (tracer.enabled()) {
-      const double wait_us = wait_seconds * 1e6;
+      const double wait_us = request->wait_seconds * 1e6;
+      // Recorded on the request's behalf: the leader's thread runs this, so
+      // the wait span carries the waiter's context explicitly.
       tracer.RecordComplete("serve.wait", tracer.NowMicros() - wait_us,
                             wait_us, obs::kCoordinatorLane,
-                            {{{"request", request->id}, {}, {}}});
+                            {{{"request", request->id}, {}, {}}},
+                            request->trace);
     }
+    QueryProfile& profile = profiles[i];
+    profile.trace_id = request->trace.trace_id;
+    profile.request_id = request->id;
+    profile.num_preferences = request->preferences.size();
+    if (profile.num_preferences == 1 &&
+        request->preferences[0].weight == 1.0) {
+      profile.source = request->preferences[0].node;
+    }
+    profile.wait_seconds = request->wait_seconds;
+    profile.batch_size = take;
     // Moved, not copied: the request only needs its result from here on.
     queries.push_back(std::move(request->preferences));
   }
@@ -217,12 +272,20 @@ void QueryServer::RunOneBatch(std::unique_lock<std::mutex>& lock) {
   std::vector<QueryMetrics> per_query;
   QueryMetrics round;
   std::vector<SparseVector> ppvs;
+  const StorageStats storage_before = engine_.index().StorageStatsTotal();
   {
+    // The shared round runs under the FIRST request's context: its trace id
+    // is what the round's machine/store/net spans and frame headers carry.
+    // Exact for unbatched serving; under batching the other members'
+    // profiles still link to the round via round_id.
+    obs::TraceContextScope round_ctx(batch.front()->trace);
     obs::TraceSpan round_span(obs::kCoordinatorLane, "serve.round");
     round_span.Arg("batch", take);
     round_span.Arg("first_request", batch.front()->id);
     ppvs = engine_.QueryPreferenceSetMany(queries, &per_query, &round);
   }
+  const StorageStats round_storage =
+      engine_.index().StorageStatsTotal().Since(storage_before);
   // Populate the result cache before re-locking: Insert copies the vector
   // and takes only the shard's own mutex, so waiters aren't held up by it.
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -239,6 +302,22 @@ void QueryServer::RunOneBatch(std::unique_lock<std::mutex>& lock) {
     series_.latency_us->Record(
         static_cast<uint64_t>(request->latency_seconds * 1e6));
     series_.machines_per_query->Record(per_query[i].machines_contacted);
+
+    // Attribution, not re-measurement: every number below is copied from
+    // the same QueryMetrics / StorageStats the aggregate counters are fed
+    // from, so profile totals reconcile exactly with the registry deltas.
+    QueryProfile& profile = profiles[i];
+    profile.latency_seconds = request->latency_seconds;
+    profile.round_id = per_query[i].round_id;
+    profile.machines = per_query[i].machines;
+    profile.machines_contacted = per_query[i].machines_contacted;
+    profile.fragment_comm = per_query[i].comm;
+    profile.round_comm = round.comm;
+    profile.routing_bytes_saved = per_query[i].routing_bytes_saved;
+    profile.machine_seconds = round.machine_seconds;
+    profile.max_machine_seconds = round.max_machine_seconds;
+    profile.coordinator_seconds = round.coordinator_seconds;
+    profile.storage = round_storage;
   }
   series_.queries->Add(take);
   series_.rounds->Increment();
@@ -249,6 +328,12 @@ void QueryServer::RunOneBatch(std::unique_lock<std::mutex>& lock) {
   series_.routing_machine_rounds->Add(round.machines_contacted);
   series_.routing_bytes_saved->Add(round.routing_bytes_saved);
   done_cv_.notify_all();
+
+  // Profile observation (ring updates + possible slow-log file I/O) happens
+  // outside mu_ so waiters and new arrivals are never held up by it.
+  lock.unlock();
+  for (const QueryProfile& profile : profiles) profiles_.Observe(profile);
+  lock.lock();
 }
 
 QueryServer::WindowBaseline QueryServer::CaptureBaseline() const {
@@ -319,6 +404,82 @@ void QueryServer::ResetStats() {
   window_baseline_ = CaptureBaseline();
   storage_baseline_ = engine_.index().StorageStatsTotal();
   window_.Restart();
+}
+
+std::vector<QueryProfile> QueryServer::RecentProfiles() const {
+  return profiles_.Recent();
+}
+
+std::vector<QueryProfile> QueryServer::RecentSlowQueries() const {
+  return profiles_.RecentSlow();
+}
+
+std::string QueryServer::StatusJson() const {
+  const ServerStats stats = Stats();
+  const HgpaIndex& index = engine_.index();
+  char buf[256];
+  std::string out = "{";
+
+  // Placement plan summary.
+  const std::vector<size_t> bytes_per_machine = index.BytesPerMachine();
+  std::snprintf(buf, sizeof(buf),
+                "\"placement\":{\"machines\":%zu,\"routing\":\"%s\","
+                "\"max_machine_bytes\":%zu,\"total_bytes\":%zu,"
+                "\"bytes_per_machine\":[",
+                index.num_machines(),
+                engine_.routing_mode() == RoutingMode::kRoute ? "route"
+                                                              : "broadcast",
+                index.MaxMachineBytes(), index.TotalBytes());
+  out += buf;
+  for (size_t m = 0; m < bytes_per_machine.size(); ++m) {
+    std::snprintf(buf, sizeof(buf), "%s%zu", m == 0 ? "" : ",",
+                  bytes_per_machine[m]);
+    out += buf;
+  }
+  out += "]},";
+
+  // Hot-shard replication budget vs. usage.
+  std::snprintf(buf, sizeof(buf),
+                "\"replication\":{\"replicated_hubs\":%zu,"
+                "\"replica_bytes_per_machine\":%zu},",
+                index.num_replicated_hubs(), index.replica_bytes_per_machine());
+  out += buf;
+
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"serving\":{\"queries\":%llu,\"rounds\":%llu,\"qps\":%.2f,"
+      "\"mean_batch\":%.3f,\"shed\":%llu,\"p50_latency_ms\":%.3f,"
+      "\"p99_latency_ms\":%.3f,\"comm_bytes\":%llu,"
+      "\"routing_machine_rounds\":%llu,\"routing_bytes_saved\":%llu},",
+      static_cast<unsigned long long>(stats.queries),
+      static_cast<unsigned long long>(stats.rounds), stats.qps,
+      stats.mean_batch, static_cast<unsigned long long>(stats.shed),
+      stats.p50_latency_ms, stats.p99_latency_ms,
+      static_cast<unsigned long long>(stats.comm.bytes),
+      static_cast<unsigned long long>(stats.routing_machine_rounds),
+      static_cast<unsigned long long>(stats.routing_bytes_saved));
+  out += buf;
+
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"result_cache\":{\"enabled\":%s,\"hits\":%llu,\"misses\":%llu,"
+      "\"evictions\":%llu,\"entries\":%zu,\"bytes\":%llu},",
+      cache_.enabled() ? "true" : "false",
+      static_cast<unsigned long long>(stats.result_cache_hits),
+      static_cast<unsigned long long>(stats.result_cache_misses),
+      static_cast<unsigned long long>(stats.result_cache_evictions),
+      cache_.entries(),
+      static_cast<unsigned long long>(stats.result_cache_bytes));
+  out += buf;
+
+  out += "\"slow_queries\":[";
+  const std::vector<QueryProfile> slow = profiles_.RecentSlow();
+  for (size_t i = 0; i < slow.size(); ++i) {
+    if (i > 0) out += ",";
+    out += slow[i].ToJson();
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace dppr

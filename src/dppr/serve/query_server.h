@@ -12,6 +12,8 @@
 #include "dppr/common/timer.h"
 #include "dppr/core/hgpa.h"
 #include "dppr/obs/metrics.h"
+#include "dppr/obs/trace.h"
+#include "dppr/serve/query_profile.h"
 #include "dppr/serve/result_cache.h"
 
 namespace dppr {
@@ -38,11 +40,20 @@ struct ServeOptions {
   /// requests are single-source weight-1.0 queries (Query / QueryTopK);
   /// preference sets always recompute.
   size_t result_cache_bytes = 0;
+  /// Slow-query threshold in microseconds: a completed request at or over it
+  /// is written to the structured JSONL slow-query log and retained in the
+  /// slow ring. < 0 disables the log (profiles still enter the recent ring);
+  /// 0 logs every request.
+  int64_t slow_query_us = -1;
+  /// Slow-query JSONL sink (appended); empty logs to stderr.
+  std::string slow_query_log_path;
 
   /// Env-tunable serving knobs: DPPR_MAX_PENDING (count; 0 unbounded),
-  /// DPPR_ADMISSION ("shed" | "block"; a typo dies), and
-  /// DPPR_RESULT_CACHE_BYTES (bytes; 0 off). max_batch/thread_cpu_timer
-  /// keep their defaults — they are call-site decisions.
+  /// DPPR_ADMISSION ("shed" | "block"; a typo dies),
+  /// DPPR_RESULT_CACHE_BYTES (bytes; 0 off), DPPR_SLOW_QUERY_US (µs; unset
+  /// off, 0 logs everything), and DPPR_SLOW_QUERY_LOG (path; empty stderr).
+  /// max_batch/thread_cpu_timer keep their defaults — they are call-site
+  /// decisions.
   static ServeOptions FromEnv();
 };
 
@@ -153,6 +164,9 @@ class QueryServer {
     /// Served from the front-door result cache: no round ran, metrics.comm
     /// is zero.
     bool cache_hit = false;
+    /// Trace id minted for this request — the id its spans, frame headers,
+    /// and QueryProfile carry (0 only for default-constructed responses).
+    uint64_t trace_id = 0;
   };
 
   /// Single-node PPV.
@@ -169,6 +183,7 @@ class QueryServer {
     double latency_seconds = 0.0;
     bool shed = false;
     bool cache_hit = false;
+    uint64_t trace_id = 0;
   };
 
   /// Top-k nodes of `node`'s PPV (k = 0 returns the full ranking header,
@@ -185,6 +200,16 @@ class QueryServer {
   ServerStats Stats() const;
   void ResetStats();
 
+  /// Newest-first per-query cost profiles (bounded rings; see ProfileLog).
+  /// Safe to call while serving.
+  std::vector<QueryProfile> RecentProfiles() const;
+  std::vector<QueryProfile> RecentSlowQueries() const;
+
+  /// Live introspection JSON for the admin plane's /statusz: placement and
+  /// replication summary, serving stats, result-cache occupancy, and the
+  /// recent slow queries. Safe to call while serving.
+  std::string StatusJson() const;
+
   const HgpaQueryEngine& engine() const { return engine_; }
   const ServeOptions& options() const { return options_; }
 
@@ -198,6 +223,12 @@ class QueryServer {
     /// Server-unique request id; trace spans carry it so a request's wait,
     /// round, and completion line up in the timeline.
     uint64_t id = 0;
+    /// Trace context minted at admission; the leader re-establishes it
+    /// around the round and stamps it on spans recorded on the request's
+    /// behalf.
+    obs::TraceContext trace;
+    /// Admission-queue time, recorded when a leader picks the request up.
+    double wait_seconds = 0.0;
     /// Insert the result into the result cache under cache_key when done
     /// (single-source weight-1.0 queries with the cache enabled).
     bool cacheable = false;
@@ -257,6 +288,9 @@ class QueryServer {
   std::string label_;
   ResultCache cache_;
   Series series_;
+  /// Per-query cost profiles + the slow-query JSONL log. Internally locked
+  /// (never under mu_ — Observe may do file I/O).
+  ProfileLog profiles_;
 
   mutable std::mutex mu_;
   std::condition_variable done_cv_;

@@ -1,0 +1,128 @@
+// Admin plane: a real loopback client against AdminHttpServer — the
+// built-in routes, status-section composition, and the rejection paths.
+
+#include "dppr/obs/admin_http.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "dppr/obs/metrics.h"
+#include "json_util.h"
+
+namespace dppr {
+namespace {
+
+using ::dppr::testing::JsonParser;
+using ::dppr::testing::JsonValue;
+
+/// One blocking HTTP exchange against 127.0.0.1:`port`; returns the whole
+/// response (status line + headers + body).
+std::string Fetch(uint16_t port, const std::string& request) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  EXPECT_EQ(send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return Fetch(port, "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+std::string Body(const std::string& response) {
+  size_t pos = response.find("\r\n\r\n");
+  EXPECT_NE(pos, std::string::npos) << response;
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(AdminHttp, HealthzAndIndex) {
+  obs::AdminHttpServer server;
+  server.Start(0);  // ephemeral port
+  ASSERT_NE(server.port(), 0);
+
+  std::string health = Get(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
+  EXPECT_EQ(Body(health), "ok\n");
+
+  std::string index = Get(server.port(), "/");
+  EXPECT_NE(Body(index).find("/metrics"), std::string::npos);
+  server.Stop();
+}
+
+TEST(AdminHttp, MetricsServesPrometheusText) {
+  obs::MetricsRegistry::Global().GetCounter("admin.test.counter")->Add(7);
+  obs::AdminHttpServer server;
+  server.Start(0);
+  std::string response = Get(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(Body(response).find("dppr_admin_test_counter 7"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(AdminHttp, StatuszComposesSectionsAsJson) {
+  obs::AdminHttpServer server;
+  // Empty /statusz is still a valid JSON object.
+  server.Start(0);
+  EXPECT_EQ(Body(Get(server.port(), "/statusz")), "{}");
+
+  server.HandleStatus("alpha", [] { return std::string("{\"x\":1}"); });
+  server.HandleStatus("beta", [] { return std::string("[2,3]"); });
+  JsonValue doc =
+      JsonParser(Body(Get(server.port(), "/statusz"))).Parse();
+  ASSERT_EQ(doc.kind, JsonValue::kObject);
+  EXPECT_EQ(doc.at("alpha").at("x").number, 1.0);
+  ASSERT_EQ(doc.at("beta").array.size(), 2u);
+  EXPECT_EQ(doc.at("beta").array[1].number, 3.0);
+
+  // Re-registering a section replaces it.
+  server.HandleStatus("alpha", [] { return std::string("4"); });
+  doc = JsonParser(Body(Get(server.port(), "/statusz"))).Parse();
+  EXPECT_EQ(doc.at("alpha").number, 4.0);
+  server.Stop();
+}
+
+TEST(AdminHttp, RejectsUnknownPathsAndNonGet) {
+  obs::AdminHttpServer server;
+  server.Start(0);
+  EXPECT_NE(Get(server.port(), "/nope").find("404 Not Found"),
+            std::string::npos);
+  EXPECT_NE(Fetch(server.port(),
+                  "POST /metrics HTTP/1.1\r\nHost: x\r\n"
+                  "Content-Length: 0\r\n\r\n")
+                .find("405 Method Not Allowed"),
+            std::string::npos);
+  // Query strings are stripped before dispatch.
+  EXPECT_EQ(Body(Get(server.port(), "/healthz?probe=1")), "ok\n");
+  server.Stop();
+}
+
+TEST(AdminHttp, CustomHandlerAndStopIdempotence) {
+  obs::AdminHttpServer server;
+  server.Handle("/custom", "text/plain", [] { return std::string("hi"); });
+  server.Start(0);
+  EXPECT_EQ(Body(Get(server.port(), "/custom")), "hi");
+  server.Stop();
+  server.Stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace dppr

@@ -1,0 +1,171 @@
+#ifndef DPPR_TESTS_JSON_UTIL_H_
+#define DPPR_TESTS_JSON_UTIL_H_
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dppr::testing {
+
+/// Minimal JSON value + strict parser shared by the observability tests:
+/// trace / registry round-trips (obs_test), trace-context propagation and
+/// slow-query-log schema checks (trace_context_test), and the admin plane's
+/// /statusz (admin_http_test). Any syntax error fails the test. Small on
+/// purpose — the point is that the emitted JSON is well-formed enough for
+/// real tooling, not to be a production parser.
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    EXPECT_NE(it, object.end()) << "missing key " << key;
+    static const JsonValue kEmpty;
+    return it == object.end() ? kEmpty : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipSpace();
+    EXPECT_EQ(pos_, text_.size()) << "trailing bytes after JSON document";
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void Expect(char c) {
+    EXPECT_EQ(Peek(), c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't': case 'f': return ParseBool();
+      case 'n': return ParseNull();
+      default: return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    JsonValue v;
+    v.kind = JsonValue::kObject;
+    Expect('{');
+    if (Peek() == '}') { ++pos_; return v; }
+    for (;;) {
+      JsonValue key = ParseString();
+      Expect(':');
+      v.object.emplace(key.str, ParseValue());
+      if (Peek() == ',') { ++pos_; continue; }
+      Expect('}');
+      return v;
+    }
+  }
+
+  JsonValue ParseArray() {
+    JsonValue v;
+    v.kind = JsonValue::kArray;
+    Expect('[');
+    if (Peek() == ']') { ++pos_; return v; }
+    for (;;) {
+      v.array.push_back(ParseValue());
+      if (Peek() == ',') { ++pos_; continue; }
+      Expect(']');
+      return v;
+    }
+  }
+
+  JsonValue ParseString() {
+    JsonValue v;
+    v.kind = JsonValue::kString;
+    Expect('"');
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        EXPECT_LT(pos_, text_.size());
+        switch (text_[pos_]) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case 'n': v.str += '\n'; break;
+          case 't': v.str += '\t'; break;
+          default:
+            ADD_FAILURE() << "unsupported escape \\" << text_[pos_];
+        }
+        ++pos_;
+      } else {
+        v.str += text_[pos_++];
+      }
+    }
+    Expect('"');
+    return v;
+  }
+
+  JsonValue ParseBool() {
+    JsonValue v;
+    v.kind = JsonValue::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else {
+      EXPECT_EQ(text_.compare(pos_, 5, "false"), 0);
+      v.boolean = false;
+      pos_ += 5;
+    }
+    return v;
+  }
+
+  JsonValue ParseNull() {
+    EXPECT_EQ(text_.compare(pos_, 4, "null"), 0);
+    pos_ += 4;
+    return {};
+  }
+
+  JsonValue ParseNumber() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    EXPECT_GT(pos_, start) << "expected a number at offset " << start;
+    JsonValue v;
+    v.kind = JsonValue::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dppr::testing
+
+#endif  // DPPR_TESTS_JSON_UTIL_H_
